@@ -1,0 +1,10 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module covers one group of paper artefacts (see DESIGN.md §3 for the
+experiment-to-bench index); the ablation benches cover the design choices
+listed in DESIGN.md §6.
+"""

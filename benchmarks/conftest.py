@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The solver campaign (the expensive part) is collected once per benchmark
+session with the ``quick`` profile and shared by every table/figure bench;
+each bench then times only the analysis stage it reproduces and prints the
+regenerated rows/series once so the output can be compared with the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import collect_benchmark_observations
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """The laptop-scale reproduction profile used by every bench."""
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def quick_observations(quick_config):
+    """One sequential Adaptive Search campaign shared across all benches."""
+    return collect_benchmark_observations(quick_config)
+
+
+def print_once(request, text: str) -> None:
+    """Print a regenerated table/figure once (not once per benchmark round)."""
+    key = f"_printed_{request.node.nodeid}"
+    if not getattr(request.config, key, False):
+        setattr(request.config, key, True)
+        print(f"\n{text}\n")

@@ -1,0 +1,46 @@
+"""Benches for Figures 6, 7 and 14: measured (simulated multi-walk) speed-up curves."""
+
+import pytest
+
+from benchmarks.conftest import print_once
+from repro.experiments.figures_experiments import (
+    figure6_csplib_speedups,
+    figure7_costas_speedups,
+    figure14_costas_extended,
+)
+
+
+@pytest.mark.benchmark(group="figures-experiments")
+def test_figure6_csplib_speedup_curves(benchmark, request, quick_config, quick_observations):
+    figure = benchmark(figure6_csplib_speedups, quick_config, quick_observations)
+    print_once(request, figure.format())
+    top = quick_config.cores[-1]
+    ms_label = quick_observations["MS"].label
+    ai_label = quick_observations["AI"].label
+    # Both CSPLib benchmarks parallelise but stay below the ideal line at 256
+    # cores (the paper's qualitative message for Figure 6).
+    for label in (ms_label, ai_label):
+        assert 1.0 < figure.speedup(label, top) < figure.speedup("Ideal", top)
+
+
+@pytest.mark.benchmark(group="figures-experiments")
+def test_figure7_costas_speedup_curve(benchmark, request, quick_config, quick_observations):
+    figure = benchmark(figure7_costas_speedups, quick_config, quick_observations)
+    print_once(request, figure.format())
+    label = quick_observations["Costas"].label
+    # Costas scales markedly better than the CSPLib problems at modest core
+    # counts (Figure 7 vs Figure 6): near-ideal at 16-32 cores.
+    assert figure.speedup(label, 16) > 0.6 * 16
+
+
+@pytest.mark.benchmark(group="figures-experiments")
+def test_figure14_costas_extended_core_counts(benchmark, request, quick_config, quick_observations):
+    figure = benchmark(figure14_costas_extended, quick_config, quick_observations)
+    print_once(request, figure.format())
+    assert max(figure.cores) == max(quick_config.extended_cores)
+    measured_name = next(name for name in figure.series if "measured" in name)
+    predicted_name = next(name for name in figure.series if "predicted" in name)
+    # Both series keep increasing (or saturate) but never decrease.
+    for name in (measured_name, predicted_name):
+        values = figure.series[name]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

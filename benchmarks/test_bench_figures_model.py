@@ -1,0 +1,54 @@
+"""Benches for Figures 1–5: the analytical model (no solver involved).
+
+Each bench times the computation that regenerates the figure's data (min
+distributions over a grid, or a full speed-up curve) and prints the series
+once for comparison with the paper.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_once
+from repro.experiments.figures_model import (
+    figure1_gaussian_min,
+    figure2_exponential_min,
+    figure3_exponential_speedup,
+    figure4_lognormal_min,
+    figure5_lognormal_speedup,
+)
+
+
+@pytest.mark.benchmark(group="figures-model")
+def test_figure1_gaussian_min_distribution(benchmark, request):
+    figure = benchmark(figure1_gaussian_min)
+    print_once(request, figure.format())
+    assert figure.peak_location(1000) <= figure.peak_location(1)
+
+
+@pytest.mark.benchmark(group="figures-model")
+def test_figure2_exponential_min_distribution(benchmark, request):
+    figure = benchmark(figure2_exponential_min)
+    print_once(request, figure.format())
+    assert set(figure.densities) == {1, 2, 4, 8}
+
+
+@pytest.mark.benchmark(group="figures-model")
+def test_figure3_exponential_speedup_curve(benchmark, request):
+    figure = benchmark(figure3_exponential_speedup)
+    print_once(request, figure.format())
+    # Paper: limit 11 for x0=100, lambda=1/1000.
+    assert figure.limit == pytest.approx(11.0)
+
+
+@pytest.mark.benchmark(group="figures-model")
+def test_figure4_lognormal_min_distribution(benchmark, request):
+    figure = benchmark(figure4_lognormal_min)
+    print_once(request, figure.format())
+    assert figure.peak_location(8) <= figure.peak_location(1)
+
+
+@pytest.mark.benchmark(group="figures-model")
+def test_figure5_lognormal_speedup_curve(benchmark, request):
+    figure = benchmark(figure5_lognormal_speedup)
+    print_once(request, figure.format())
+    # Paper Figure 5: the curve reaches roughly 25 at 256 cores.
+    assert 20.0 < figure.curve.speedups[-1] < 32.0

@@ -1,0 +1,66 @@
+"""Benches for the substrate itself: single Adaptive Search runs per benchmark.
+
+These are conventional performance benchmarks (how long one sequential run
+takes on each scaled-down instance) rather than paper artefacts; they guard
+against performance regressions in the solver hot path, which dominates the
+cost of every solver-backed experiment.
+"""
+
+import pytest
+
+from repro.csp.problems import AllIntervalProblem, CostasArrayProblem, MagicSquareProblem
+from repro.solvers.adaptive_search import AdaptiveSearch, AdaptiveSearchConfig
+from repro.solvers.walksat import WalkSAT, WalkSATConfig
+from repro.sat import random_planted_ksat
+
+import numpy as np
+
+
+@pytest.mark.benchmark(group="solver")
+@pytest.mark.parametrize(
+    "problem_factory, label",
+    [
+        (lambda: MagicSquareProblem(4), "magic-square-4"),
+        (lambda: AllIntervalProblem(12), "all-interval-12"),
+        (lambda: CostasArrayProblem(10), "costas-10"),
+    ],
+    ids=["magic-square-4", "all-interval-12", "costas-10"],
+)
+def test_adaptive_search_single_run(benchmark, problem_factory, label):
+    problem = problem_factory()
+    solver = AdaptiveSearch(problem, AdaptiveSearchConfig(max_iterations=200_000))
+    seeds = iter(range(10_000))
+
+    def run_once():
+        return solver.run(next(seeds))
+
+    result = benchmark.pedantic(run_once, rounds=5, iterations=1, warmup_rounds=1)
+    assert result.solved
+    assert problem.is_solution(result.solution)
+
+
+@pytest.mark.benchmark(group="solver")
+def test_walksat_single_run(benchmark):
+    formula, _ = random_planted_ksat(60, 240, rng=np.random.default_rng(0))
+    solver = WalkSAT(formula, WalkSATConfig(max_flips=200_000))
+    seeds = iter(range(10_000))
+
+    def run_once():
+        return solver.run(next(seeds))
+
+    result = benchmark.pedantic(run_once, rounds=5, iterations=1, warmup_rounds=1)
+    assert result.solved
+
+
+@pytest.mark.benchmark(group="solver")
+def test_swap_cost_evaluation_hot_path(benchmark):
+    """The inner-loop primitive: evaluating all swaps of the culprit variable."""
+    problem = MagicSquareProblem(6)
+    rng = np.random.default_rng(1)
+    perm = problem.random_configuration(rng)
+
+    def evaluate():
+        return problem.swap_costs(perm, 7)
+
+    costs = benchmark(evaluate)
+    assert costs.shape == (problem.size,)

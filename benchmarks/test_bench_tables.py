@@ -1,0 +1,69 @@
+"""Benches for Tables 1–5.
+
+The sequential campaign is collected once by the session fixture; each bench
+times the table-building stage and prints the regenerated table once.  The
+Table 5 bench additionally checks the paper's headline claim: the predicted
+speed-ups track the measured ones (we assert a generous factor-of-two band
+rather than the paper's 10–30% because the quick profile uses scaled-down
+instances and far fewer runs).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_once
+from repro.experiments.config import BENCHMARK_KEYS
+from repro.experiments.tables import (
+    table1_sequential_times,
+    table2_sequential_iterations,
+    table3_time_speedups,
+    table4_iteration_speedups,
+    table5_prediction_comparison,
+)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_sequential_times(benchmark, request, quick_config, quick_observations):
+    table = benchmark(table1_sequential_times, quick_config, quick_observations)
+    print_once(request, table.format())
+    for key in BENCHMARK_KEYS:
+        summary = table.summaries[key]
+        assert summary.minimum <= summary.median <= summary.maximum
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_sequential_iterations(benchmark, request, quick_config, quick_observations):
+    table = benchmark(table2_sequential_iterations, quick_config, quick_observations)
+    print_once(request, table.format())
+    # Las Vegas signature: large dispersion between min and max (Section 5.4).
+    assert any(table.summaries[key].dispersion() > 10.0 for key in BENCHMARK_KEYS)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3_time_speedups(benchmark, request, quick_config, quick_observations):
+    table = benchmark(table3_time_speedups, quick_config, quick_observations)
+    print_once(request, table.format())
+    for key in BENCHMARK_KEYS:
+        assert table.speedup(key, quick_config.cores[-1]) > 1.0
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table4_iteration_speedups(benchmark, request, quick_config, quick_observations):
+    table = benchmark(table4_iteration_speedups, quick_config, quick_observations)
+    print_once(request, table.format())
+    for key in BENCHMARK_KEYS:
+        speedups = [table.speedup(key, c) for c in quick_config.cores]
+        assert speedups[-1] >= speedups[0] > 1.0
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table5_prediction_comparison(benchmark, request, quick_config, quick_observations):
+    table = benchmark(table5_prediction_comparison, quick_config, quick_observations)
+    print_once(request, table.format())
+    # Paper families are used and the prediction tracks the measurement.
+    assert table.predictions["MS"].family == "shifted_lognormal"
+    assert table.predictions["AI"].family == "shifted_exponential"
+    for key in BENCHMARK_KEYS:
+        for cores in quick_config.cores:
+            measured = table.experimental[key].speedup(cores)
+            predicted = table.predictions[key].speedup(cores)
+            assert 0.3 < predicted / measured < 3.0, (key, cores, measured, predicted)

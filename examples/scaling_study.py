@@ -1,0 +1,75 @@
+"""Predict the speed-up of a large instance from small-instance runs only.
+
+This implements the paper's proposed future-work method (Section 8): for a
+given problem/algorithm pair the runtime-distribution *shape* is stable
+across instance sizes, so one can
+
+1. run the solver on several small, cheap instances,
+2. check the same distribution family fits all of them,
+3. learn how the distribution parameters scale with the instance size,
+4. extrapolate the parameters to a larger target size and predict its
+   multi-walk speed-up without ever solving it sequentially at scale.
+
+The example does this for ALL-INTERVAL and then *validates* the prediction
+by actually solving the target instance and simulating the multi-walk.
+
+Run with:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.csp.problems import AllIntervalProblem
+from repro.scaling import InstanceScalingStudy
+
+
+def main() -> None:
+    small_sizes = [8, 9, 10, 11]
+    target_size = 14
+
+    study = InstanceScalingStudy(
+        problem_factory=AllIntervalProblem,
+        family="shifted_exponential",   # the family the paper fits to ALL-INTERVAL
+        shift_rule="min",
+        n_runs=60,
+        max_iterations=300_000,
+        base_seed=7,
+    )
+
+    print(f"running the scaling study on ALL-INTERVAL sizes {small_sizes} ...")
+    study.run(small_sizes)
+
+    print(f"family stable across sizes: {study.family_is_stable()}")
+    print(f"KS-accepted at every size:  {study.accepted_everywhere()}")
+    print("\nfitted parameters per size:")
+    for size, params in study.parameter_table().items():
+        rendered = ", ".join(f"{k}={v:.4g}" for k, v in params.items())
+        print(f"  n={size:<3d} {rendered}")
+
+    shift_law, excess_law = study.scaling_laws()
+    print(
+        f"\nshift law:       x0(n) ~ {shift_law.coefficient:.3g} * n^{shift_law.exponent:.2f}"
+        f"   (R^2 = {shift_law.r_squared:.3f})"
+    )
+    print(
+        f"mean-excess law: (E[Y]-x0)(n) ~ {excess_law.coefficient:.3g} * n^{excess_law.exponent:.2f}"
+        f"   (R^2 = {excess_law.r_squared:.3f})"
+    )
+
+    cores = [16, 32, 64, 128, 256]
+    prediction = study.extrapolate(target_size, cores)
+    print(f"\nextrapolated prediction for ALL-INTERVAL {target_size}:")
+    print(prediction.summary())
+
+    print(f"\nvalidating by actually solving ALL-INTERVAL {target_size} (this is the "
+          "expensive step the method lets you skip) ...")
+    comparison = study.validate(target_size, cores=[16, 64, 256], n_runs=40)
+    print(f"{'cores':>6s} {'extrapolated':>13s} {'direct fit':>11s} {'simulated':>10s}")
+    for n in (16, 64, 256):
+        print(
+            f"{n:>6d} {comparison['extrapolated'][n]:>13.1f} "
+            f"{comparison['direct_fit'][n]:>11.1f} {comparison['simulated'][n]:>10.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that ``pip install -e .`` keeps working on older offline toolchains
+(setuptools without PEP 660 editable-wheel support and no ``wheel`` package
+available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,198 @@
+"""Command-line interface: ``repro-lasvegas`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``list``
+    Show every reproducible table/figure with a one-line description.
+``run <experiment> [...]``
+    Run one or more experiments (``all`` runs everything) and print the
+    rows/series the paper reports.
+``predict --input FILE``
+    Fit a distribution to newline-separated runtimes read from a file (or
+    stdin) and print the predicted multi-walk speed-ups — the library's
+    end-user workflow.
+``campaign``
+    Collect (and optionally persist) the sequential solver campaigns used by
+    the solver-backed experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.prediction import predict_speedup_curve, predict_speedup_empirical
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import CampaignSummary, collect_benchmark_observations
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["build_parser", "main"]
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    profiles = {
+        "quick": ExperimentConfig.quick,
+        "full": ExperimentConfig.full,
+        "tiny": ExperimentConfig.tiny,
+    }
+    config = profiles[args.profile]()
+    if getattr(args, "runs", None):
+        config = ExperimentConfig(
+            magic_square_n=config.magic_square_n,
+            all_interval_n=config.all_interval_n,
+            costas_n=config.costas_n,
+            n_sequential_runs=args.runs,
+            n_parallel_runs=config.n_parallel_runs,
+            cores=config.cores,
+            extended_cores=config.extended_cores,
+            max_iterations=config.max_iterations,
+            base_seed=config.base_seed if args.seed is None else args.seed,
+        )
+    elif getattr(args, "seed", None) is not None:
+        config = ExperimentConfig(
+            magic_square_n=config.magic_square_n,
+            all_interval_n=config.all_interval_n,
+            costas_n=config.costas_n,
+            n_sequential_runs=config.n_sequential_runs,
+            n_parallel_runs=config.n_parallel_runs,
+            cores=config.cores,
+            extended_cores=config.extended_cores,
+            max_iterations=config.max_iterations,
+            base_seed=args.seed,
+        )
+    return config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lasvegas",
+        description="Prediction of parallel speed-ups for Las Vegas algorithms (ICPP 2013 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the reproducible tables and figures")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (e.g. table5 figure9) or 'all'",
+    )
+    run_parser.add_argument("--profile", choices=("tiny", "quick", "full"), default="quick")
+    run_parser.add_argument("--runs", type=int, default=None, help="override sequential run count")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the base seed")
+    run_parser.add_argument("--cache-dir", type=str, default=None, help="persist solver campaigns")
+
+    predict_parser = subparsers.add_parser(
+        "predict", help="predict multi-walk speed-ups from observed runtimes"
+    )
+    predict_parser.add_argument(
+        "--input", type=str, default="-", help="file of newline-separated runtimes ('-' = stdin)"
+    )
+    predict_parser.add_argument(
+        "--cores", type=int, nargs="+", default=[16, 32, 64, 128, 256], help="core counts to predict"
+    )
+    predict_parser.add_argument(
+        "--family",
+        type=str,
+        default=None,
+        help="force a distribution family (default: automatic selection)",
+    )
+    predict_parser.add_argument(
+        "--empirical", action="store_true", help="use the nonparametric (empirical) predictor"
+    )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="collect the sequential solver campaigns used by the experiments"
+    )
+    campaign_parser.add_argument("--profile", choices=("tiny", "quick", "full"), default="quick")
+    campaign_parser.add_argument("--runs", type=int, default=None)
+    campaign_parser.add_argument("--seed", type=int, default=None)
+    campaign_parser.add_argument("--cache-dir", type=str, default=None)
+
+    return parser
+
+
+def _command_list() -> int:
+    for name, description in list_experiments():
+        print(f"{name:<10s} {description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    observations = None
+    if any(EXPERIMENTS[n][1] for n in names):
+        observations = collect_benchmark_observations(config, cache_dir=args.cache_dir)
+    for name in names:
+        needs_observations = EXPERIMENTS[name][1]
+        if needs_observations:
+            result = run_experiment(name, config, observations=observations)
+        else:
+            result = run_experiment(name, config)
+        print(result.format())
+        print()
+    return 0
+
+
+def _read_values(source: str) -> np.ndarray:
+    if source == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(source).read_text()
+    values = [float(token) for token in text.split()]
+    if not values:
+        raise SystemExit("no runtime values found in the input")
+    return np.asarray(values, dtype=float)
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    values = _read_values(args.input)
+    if args.empirical:
+        result = predict_speedup_empirical(values, args.cores)
+    else:
+        result = predict_speedup_curve(values, args.cores, family=args.family)
+    print(result.summary())
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    observations = collect_benchmark_observations(config, cache_dir=args.cache_dir)
+    summary = CampaignSummary.from_observations(config, observations)
+    for key, batch in observations.items():
+        print(
+            f"{batch.label:<12s} runs={summary.n_runs[key]:<5d} "
+            f"success-rate={summary.success_rates[key]:.2%}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-lasvegas`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "predict":
+        return _command_predict(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

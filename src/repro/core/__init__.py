@@ -1,0 +1,52 @@
+"""Core probabilistic model: distributions, order statistics, speed-up prediction.
+
+The mathematical content of the paper lives here:
+
+* :mod:`repro.core.distributions` — parametric runtime-distribution families
+  (shifted exponential, shifted lognormal, truncated gaussian, gamma,
+  Weibull, Pareto, uniform) plus a nonparametric empirical distribution.
+* :mod:`repro.core.order_stats` — moments of order statistics, in particular
+  the first order statistic (minimum of ``n`` i.i.d. draws).
+* :mod:`repro.core.minimum` — the :class:`MinDistribution` wrapper realising
+  ``F_Z(n) = 1 - (1 - F_Y)^n``.
+* :mod:`repro.core.speedup` — :class:`SpeedupModel`, computing
+  ``G_n = E[Y] / E[Z(n)]`` together with its asymptotic limit and the
+  tangent at the origin.
+* :mod:`repro.core.fitting` — parameter estimation, Kolmogorov–Smirnov
+  goodness-of-fit testing and automatic family selection.
+* :mod:`repro.core.prediction` — the high-level entry point turning raw
+  observations into a predicted speed-up curve.
+
+Extensions beyond the paper's core model (its future-work directions):
+
+* :mod:`repro.core.censoring` — right-censored campaigns (Kaplan–Meier,
+  censoring-aware MLE) and incomplete algorithms (per-run success < 1).
+* :mod:`repro.core.restarts` — optimal restart cutoffs, the Luby sequence,
+  and the restart-vs-multi-walk comparison.
+* :mod:`repro.core.quorum` — waiting for the ``k``-th finisher instead of
+  the first one.
+"""
+
+from repro.core import (
+    censoring,
+    distributions,
+    fitting,
+    minimum,
+    order_stats,
+    prediction,
+    quorum,
+    restarts,
+    speedup,
+)
+
+__all__ = [
+    "censoring",
+    "distributions",
+    "fitting",
+    "minimum",
+    "order_stats",
+    "prediction",
+    "quorum",
+    "restarts",
+    "speedup",
+]

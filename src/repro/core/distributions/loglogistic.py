@@ -1,0 +1,97 @@
+"""Shifted log-logistic (Fisk) runtime distribution.
+
+A pragmatic middle ground between the lognormal and the Pareto: log-logistic
+runtimes have a lognormal-like body but a power-law tail of index ``beta``,
+which matches the "fat-tailed but not absurdly so" profiles often reported
+for local-search and SAT solvers.  Every quantity needed by the prediction
+pipeline has a closed form, including the quantile function, which makes the
+family cheap to evaluate at very large core counts.
+
+``cdf(t) = 1 / (1 + ((t - x0)/alpha)^(-beta))`` for ``t > x0``.
+``E[Y] = x0 + alpha * (pi/beta) / sin(pi/beta)`` for ``beta > 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Mapping
+
+import numpy as np
+
+from repro.core.distributions.base import RuntimeDistribution
+
+__all__ = ["LogLogisticRuntime"]
+
+
+class LogLogisticRuntime(RuntimeDistribution):
+    """Log-logistic distribution with scale ``alpha``, shape ``beta``, shift ``x0``."""
+
+    name: ClassVar[str] = "log_logistic"
+
+    def __init__(self, alpha: float, beta: float, x0: float = 0.0) -> None:
+        if alpha <= 0.0 or not math.isfinite(alpha):
+            raise ValueError(f"scale alpha must be positive and finite, got {alpha}")
+        if beta <= 0.0 or not math.isfinite(beta):
+            raise ValueError(f"shape beta must be positive and finite, got {beta}")
+        if x0 < 0.0 or not math.isfinite(x0):
+            raise ValueError(f"shift x0 must be non-negative and finite, got {x0}")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.x0 = float(x0)
+
+    def params(self) -> Mapping[str, float]:
+        return {"alpha": self.alpha, "beta": self.beta, "x0": self.x0}
+
+    def support(self) -> tuple[float, float]:
+        return (self.x0, math.inf)
+
+    # ------------------------------------------------------------------
+    def pdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=float)
+        z = np.where(t > self.x0, (t - self.x0) / self.alpha, 1.0)
+        dens = (self.beta / self.alpha) * z ** (self.beta - 1.0) / (1.0 + z**self.beta) ** 2
+        out = np.where(t > self.x0, dens, 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=float)
+        z = np.where(t > self.x0, (t - self.x0) / self.alpha, 1.0)
+        vals = 1.0 / (1.0 + z ** (-self.beta))
+        out = np.where(t > self.x0, vals, 0.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        if self.beta <= 1.0:
+            return math.inf
+        b = math.pi / self.beta
+        return self.x0 + self.alpha * b / math.sin(b)
+
+    def variance(self) -> float:
+        if self.beta <= 2.0:
+            return math.inf
+        b = math.pi / self.beta
+        second = self.alpha**2 * 2.0 * b / math.sin(2.0 * b)
+        first = self.alpha * b / math.sin(b)
+        return second - first * first
+
+    def median(self) -> float:
+        return self.x0 + self.alpha
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile probability must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.x0
+        if q == 1.0:
+            return math.inf
+        return self.x0 + self.alpha * (q / (1.0 - q)) ** (1.0 / self.beta)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        u = rng.uniform(size=size)
+        out = self.x0 + self.alpha * (u / (1.0 - u)) ** (1.0 / self.beta)
+        return out if np.ndim(out) else float(out)
+
+    def speedup_limit(self) -> float:
+        if self.x0 == 0.0 or not math.isfinite(self.mean()):
+            return math.inf
+        return self.mean() / self.x0

@@ -1,0 +1,57 @@
+"""Registry mapping family names to distribution classes.
+
+The fitting and prediction layers refer to distribution families by name
+(e.g. ``"shifted_exponential"``); the registry provides the single source of
+truth for that mapping and lets downstream users plug additional families in
+without touching library code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.distributions.base import RuntimeDistribution
+from repro.core.distributions.exponential import ShiftedExponential
+from repro.core.distributions.gamma import GammaRuntime
+from repro.core.distributions.gaussian import TruncatedGaussian
+from repro.core.distributions.levy import LevyRuntime
+from repro.core.distributions.loglogistic import LogLogisticRuntime
+from repro.core.distributions.lognormal import LogNormalRuntime
+from repro.core.distributions.pareto import ParetoRuntime
+from repro.core.distributions.uniform import UniformRuntime
+from repro.core.distributions.weibull import WeibullRuntime
+
+__all__ = ["distribution_registry", "get_distribution_class", "register_distribution"]
+
+#: Name -> class mapping for all built-in parametric families.
+distribution_registry: Dict[str, Type[RuntimeDistribution]] = {
+    ShiftedExponential.name: ShiftedExponential,
+    LogNormalRuntime.name: LogNormalRuntime,
+    TruncatedGaussian.name: TruncatedGaussian,
+    GammaRuntime.name: GammaRuntime,
+    WeibullRuntime.name: WeibullRuntime,
+    ParetoRuntime.name: ParetoRuntime,
+    UniformRuntime.name: UniformRuntime,
+    LevyRuntime.name: LevyRuntime,
+    LogLogisticRuntime.name: LogLogisticRuntime,
+}
+
+
+def get_distribution_class(name: str) -> Type[RuntimeDistribution]:
+    """Look a family up by name, raising a helpful error when unknown."""
+    try:
+        return distribution_registry[name]
+    except KeyError:
+        known = ", ".join(sorted(distribution_registry))
+        raise KeyError(f"unknown distribution family {name!r}; known families: {known}") from None
+
+
+def register_distribution(cls: Type[RuntimeDistribution]) -> Type[RuntimeDistribution]:
+    """Register a user-defined family (usable as a class decorator)."""
+    if not issubclass(cls, RuntimeDistribution):
+        raise TypeError(f"{cls!r} is not a RuntimeDistribution subclass")
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a non-empty class attribute 'name'")
+    distribution_registry[name] = cls
+    return cls

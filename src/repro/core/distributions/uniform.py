@@ -1,0 +1,80 @@
+"""Uniform runtime distribution on a bounded interval.
+
+The uniform family is mostly a pedagogical and testing device: every
+multi-walk quantity has a simple closed form (the minimum of ``n`` uniforms
+on ``[a, b]`` is a Beta(1, n) variable rescaled to the interval, so
+``E[Z(n)] = a + (b - a)/(n + 1)``), which gives the quadrature-based generic
+code an exact reference to be validated against.  It also models
+"bounded-restart" algorithms whose runtime never exceeds a hard cutoff.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Mapping
+
+import numpy as np
+
+from repro.core.distributions.base import RuntimeDistribution
+
+__all__ = ["UniformRuntime"]
+
+
+class UniformRuntime(RuntimeDistribution):
+    """Uniform distribution on ``[low, high]`` with ``0 <= low < high``."""
+
+    name: ClassVar[str] = "uniform"
+
+    def __init__(self, low: float, high: float) -> None:
+        if not (math.isfinite(low) and math.isfinite(high)):
+            raise ValueError(f"bounds must be finite, got [{low}, {high}]")
+        if low < 0.0:
+            raise ValueError(f"runtimes are non-negative; low must be >= 0, got {low}")
+        if high <= low:
+            raise ValueError(f"high must exceed low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def params(self) -> Mapping[str, float]:
+        return {"low": self.low, "high": self.high}
+
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+    # ------------------------------------------------------------------
+    def pdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=float)
+        inside = (t >= self.low) & (t <= self.high)
+        out = np.where(inside, 1.0 / (self.high - self.low), 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=float)
+        out = np.clip((t - self.low) / (self.high - self.low), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile probability must be in [0, 1], got {q}")
+        return self.low + q * (self.high - self.low)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        return rng.uniform(self.low, self.high, size=size)
+
+    # ------------------------------------------------------------------
+    def expected_minimum(self, n_cores: int) -> float:
+        """``E[min of n uniforms] = low + (high - low)/(n + 1)`` (Beta(1, n))."""
+        if n_cores < 1:
+            raise ValueError(f"number of cores must be >= 1, got {n_cores}")
+        return self.low + (self.high - self.low) / (n_cores + 1.0)
+
+    def speedup_limit(self) -> float:
+        if self.low == 0.0:
+            return math.inf
+        return self.mean() / self.low

@@ -1,0 +1,45 @@
+"""Fitting runtime distributions to observed sequential runs (Section 6).
+
+The paper's pipeline is: collect ~650 sequential runs, estimate the shift
+``x0`` from the observed minimum, estimate the remaining parameters of a
+candidate family, and accept the family if a Kolmogorov–Smirnov test does
+not reject it (p-value above 0.05).  This subpackage implements that
+pipeline plus the pieces needed to go beyond it:
+
+* :mod:`repro.core.fitting.shift` — shift (``x0``) estimation rules,
+  including the paper's "observed minimum" rule and the Costas-style
+  "treat the shift as zero when it is negligible compared to the mean".
+* :mod:`repro.core.fitting.estimators` — per-family parameter estimation.
+* :mod:`repro.core.fitting.ks` — our own Kolmogorov–Smirnov implementation
+  (statistic and asymptotic p-value), cross-checked against scipy in tests.
+* :mod:`repro.core.fitting.selection` — fit one family or select the best
+  among a candidate set.
+"""
+
+from repro.core.fitting.estimators import estimate_parameters
+from repro.core.fitting.ks import kolmogorov_pvalue, kolmogorov_smirnov_statistic, ks_test
+from repro.core.fitting.selection import FitResult, fit_distribution, select_best_fit
+from repro.core.fitting.shift import (
+    SHIFT_RULES,
+    estimate_shift,
+    shift_bias_corrected,
+    shift_min,
+    shift_quantile,
+    shift_zero_if_negligible,
+)
+
+__all__ = [
+    "FitResult",
+    "SHIFT_RULES",
+    "estimate_parameters",
+    "estimate_shift",
+    "fit_distribution",
+    "kolmogorov_pvalue",
+    "kolmogorov_smirnov_statistic",
+    "ks_test",
+    "select_best_fit",
+    "shift_bias_corrected",
+    "shift_min",
+    "shift_quantile",
+    "shift_zero_if_negligible",
+]

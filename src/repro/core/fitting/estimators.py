@@ -1,0 +1,224 @@
+"""Per-family parameter estimation from observed runtimes.
+
+Each estimator takes the raw observations plus an already-estimated shift
+``x0`` and returns a fully-constructed distribution object.  The estimators
+follow the paper where the paper is explicit (exponential: ``lambda = 1 /
+(mean - x0)``; lognormal: gaussian moments of ``log(obs - x0)``) and use
+standard method-of-moments / maximum-likelihood estimators elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.distributions.base import RuntimeDistribution
+from repro.core.distributions.exponential import ShiftedExponential
+from repro.core.distributions.gamma import GammaRuntime
+from repro.core.distributions.gaussian import TruncatedGaussian
+from repro.core.distributions.levy import LevyRuntime
+from repro.core.distributions.loglogistic import LogLogisticRuntime
+from repro.core.distributions.lognormal import LogNormalRuntime
+from repro.core.distributions.pareto import ParetoRuntime
+from repro.core.distributions.uniform import UniformRuntime
+from repro.core.distributions.weibull import WeibullRuntime
+
+__all__ = ["ESTIMATORS", "estimate_parameters"]
+
+#: Smallest admissible positive excess over the shift; avoids log(0) and 1/0.
+_EPS = 1e-12
+
+
+def _validated(observations: np.ndarray) -> np.ndarray:
+    data = np.asarray(observations, dtype=float).ravel()
+    if data.size < 2:
+        raise ValueError("parameter estimation needs at least two observations")
+    if not np.all(np.isfinite(data)):
+        raise ValueError("observations must be finite")
+    if np.any(data < 0.0):
+        raise ValueError("runtimes must be non-negative")
+    return data
+
+
+def _positive_excess(data: np.ndarray, x0: float) -> np.ndarray:
+    """Observations minus the shift, restricted to strictly positive values.
+
+    The paper shifts by the observed minimum, which maps the smallest
+    observation(s) exactly onto zero; those points carry no information
+    about the log-scale / tail parameters and would produce ``log(0)``, so
+    they are dropped for the estimators that need strict positivity.
+    """
+    excess = data - x0
+    positive = excess[excess > _EPS]
+    if positive.size < 2:
+        # Degenerate sample (e.g. all observations equal to the shift):
+        # fall back to a tiny symmetric jitter so estimators stay defined.
+        positive = np.maximum(excess, _EPS)
+    return positive
+
+
+def fit_shifted_exponential(observations: np.ndarray, x0: float) -> ShiftedExponential:
+    """Paper's estimator: ``lambda = 1 / (mean(obs) - x0)``."""
+    data = _validated(observations)
+    mean_excess = float(data.mean()) - x0
+    if mean_excess <= _EPS:
+        mean_excess = _EPS
+    return ShiftedExponential(x0=x0, lam=1.0 / mean_excess)
+
+
+def fit_shifted_lognormal(observations: np.ndarray, x0: float) -> LogNormalRuntime:
+    """Gaussian moments of ``log(obs - x0)`` (what Mathematica's estimator does)."""
+    data = _validated(observations)
+    logs = np.log(_positive_excess(data, x0))
+    mu = float(logs.mean())
+    sigma = float(logs.std(ddof=1)) if logs.size > 1 else 0.0
+    if sigma <= _EPS:
+        sigma = _EPS
+    return LogNormalRuntime(mu=mu, sigma=sigma, x0=x0)
+
+
+def fit_truncated_gaussian(observations: np.ndarray, x0: float) -> TruncatedGaussian:
+    """Moment matching of the untruncated normal; truncation at the shift."""
+    data = _validated(observations)
+    sigma = float(data.std(ddof=1))
+    if sigma <= _EPS:
+        sigma = _EPS
+    return TruncatedGaussian(mu=float(data.mean()), sigma=sigma, lower=max(x0, 0.0))
+
+
+def fit_shifted_gamma(observations: np.ndarray, x0: float) -> GammaRuntime:
+    """Method of moments on the excess over the shift."""
+    data = _validated(observations)
+    excess = _positive_excess(data, x0)
+    mean = float(excess.mean())
+    var = float(excess.var(ddof=1)) if excess.size > 1 else mean * mean
+    if var <= _EPS:
+        var = _EPS
+    shape = mean * mean / var
+    scale = var / mean
+    return GammaRuntime(shape=max(shape, _EPS), scale=max(scale, _EPS), x0=x0)
+
+
+def fit_shifted_weibull(observations: np.ndarray, x0: float) -> WeibullRuntime:
+    """Moment-matching Weibull fit on the excess over the shift.
+
+    Uses the coefficient-of-variation relation
+    ``CV^2 = Gamma(1 + 2/k)/Gamma(1 + 1/k)^2 - 1`` solved for the shape ``k``
+    by bisection, then matches the mean for the scale.  This avoids the
+    flaky unbounded MLE optimisation for small samples.
+    """
+    data = _validated(observations)
+    excess = _positive_excess(data, x0)
+    mean = float(excess.mean())
+    std = float(excess.std(ddof=1)) if excess.size > 1 else mean
+    if std <= _EPS:
+        return WeibullRuntime(shape=1.0, scale=max(mean, _EPS), x0=x0)
+    target_cv2 = (std / mean) ** 2
+
+    def cv2(shape: float) -> float:
+        g1 = math.gamma(1.0 + 1.0 / shape)
+        g2 = math.gamma(1.0 + 2.0 / shape)
+        return g2 / (g1 * g1) - 1.0
+
+    lo, hi = 0.05, 50.0
+    # cv2 is decreasing in the shape; clamp targets outside the bracket.
+    if target_cv2 >= cv2(lo):
+        shape = lo
+    elif target_cv2 <= cv2(hi):
+        shape = hi
+    else:
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if cv2(mid) > target_cv2:
+                lo = mid
+            else:
+                hi = mid
+        shape = 0.5 * (lo + hi)
+    scale = mean / math.gamma(1.0 + 1.0 / shape)
+    return WeibullRuntime(shape=shape, scale=max(scale, _EPS), x0=x0)
+
+
+def fit_levy(observations: np.ndarray, x0: float) -> LevyRuntime:
+    """Median-matching Lévy fit (the mean does not exist, so MoM is unusable).
+
+    The Lévy median equals ``x0 + c / (2 * erfcinv(1/2)^2)``; solving for the
+    scale from the sample median of the excess gives a robust estimator.
+    """
+    from scipy import special
+
+    data = _validated(observations)
+    excess = _positive_excess(data, x0)
+    median = float(np.median(excess))
+    if median <= _EPS:
+        median = _EPS
+    scale = median * 2.0 * float(special.erfcinv(0.5)) ** 2
+    return LevyRuntime(scale=max(scale, _EPS), x0=x0)
+
+
+def fit_log_logistic(observations: np.ndarray, x0: float) -> LogLogisticRuntime:
+    """Quantile-matching log-logistic fit on the excess over the shift.
+
+    The median of the excess gives the scale ``alpha`` directly; the
+    inter-quartile ratio gives the shape via
+    ``Q75 / Q25 = 9^(1/beta)  =>  beta = ln 9 / ln(Q75 / Q25)``.
+    """
+    data = _validated(observations)
+    excess = _positive_excess(data, x0)
+    q25, q50, q75 = np.quantile(excess, [0.25, 0.5, 0.75])
+    alpha = max(float(q50), _EPS)
+    ratio = float(q75) / max(float(q25), _EPS)
+    if ratio <= 1.0 + 1e-9:
+        beta = 1.0 / _EPS  # essentially deterministic excess
+    else:
+        beta = math.log(9.0) / math.log(ratio)
+    return LogLogisticRuntime(alpha=alpha, beta=max(beta, _EPS), x0=x0)
+
+
+def fit_pareto(observations: np.ndarray, x0: float) -> ParetoRuntime:
+    """Maximum-likelihood Pareto fit; ``x0`` is ignored (x_m plays that role)."""
+    data = _validated(observations)
+    x_m = float(data.min())
+    if x_m <= 0.0:
+        x_m = _EPS
+    ratios = np.log(np.maximum(data, x_m) / x_m)
+    total = float(ratios.sum())
+    alpha = data.size / total if total > _EPS else 1.0 / _EPS
+    return ParetoRuntime(x_m=x_m, alpha=max(alpha, _EPS))
+
+
+def fit_uniform(observations: np.ndarray, x0: float) -> UniformRuntime:
+    """Range fit; the shift argument is ignored (the minimum is the lower bound)."""
+    data = _validated(observations)
+    low = float(data.min())
+    high = float(data.max())
+    if high <= low:
+        high = low + max(abs(low), 1.0) * 1e-9 + _EPS
+    return UniformRuntime(low=low, high=high)
+
+
+#: Family name -> estimator callable.
+ESTIMATORS: Dict[str, Callable[[np.ndarray, float], RuntimeDistribution]] = {
+    ShiftedExponential.name: fit_shifted_exponential,
+    LogNormalRuntime.name: fit_shifted_lognormal,
+    TruncatedGaussian.name: fit_truncated_gaussian,
+    GammaRuntime.name: fit_shifted_gamma,
+    WeibullRuntime.name: fit_shifted_weibull,
+    ParetoRuntime.name: fit_pareto,
+    UniformRuntime.name: fit_uniform,
+    LevyRuntime.name: fit_levy,
+    LogLogisticRuntime.name: fit_log_logistic,
+}
+
+
+def estimate_parameters(
+    observations: np.ndarray, family: str, x0: float
+) -> RuntimeDistribution:
+    """Estimate the parameters of ``family`` given the shift ``x0``."""
+    try:
+        estimator = ESTIMATORS[family]
+    except KeyError:
+        known = ", ".join(sorted(ESTIMATORS))
+        raise KeyError(f"no estimator for family {family!r}; known families: {known}") from None
+    return estimator(np.asarray(observations, dtype=float), float(x0))

@@ -1,0 +1,108 @@
+"""Distribution of the minimum of ``n`` i.i.d. runtimes (Section 3.1).
+
+:class:`MinDistribution` wraps any :class:`RuntimeDistribution` ``Y`` and a
+core count ``n`` and exposes the runtime distribution ``Z(n)`` of the
+independent multi-walk execution:
+
+``F_Z(t) = 1 - (1 - F_Y(t))^n``
+``f_Z(t) = n f_Y(t) (1 - F_Y(t))^(n-1)``
+
+Because :class:`MinDistribution` is itself a :class:`RuntimeDistribution`,
+the transform composes: ``dist.min_of(4).min_of(8)`` equals
+``dist.min_of(32)`` in distribution, a property exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Mapping
+
+import numpy as np
+
+from repro.core.distributions.base import RuntimeDistribution
+
+__all__ = ["MinDistribution"]
+
+
+class MinDistribution(RuntimeDistribution):
+    """Runtime distribution of an ``n``-core independent multi-walk.
+
+    Parameters
+    ----------
+    base:
+        Sequential runtime distribution ``Y``.
+    n_cores:
+        Number of independent walks; must be a positive integer.
+    """
+
+    name: ClassVar[str] = "minimum"
+
+    def __init__(self, base: RuntimeDistribution, n_cores: int) -> None:
+        if not isinstance(n_cores, (int, np.integer)):
+            raise TypeError(f"n_cores must be an integer, got {type(n_cores).__name__}")
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+        self.base = base
+        self.n_cores = int(n_cores)
+
+    def params(self) -> Mapping[str, float]:
+        params = {f"base_{k}": v for k, v in self.base.params().items()}
+        params["n_cores"] = float(self.n_cores)
+        return params
+
+    def support(self) -> tuple[float, float]:
+        return self.base.support()
+
+    # ------------------------------------------------------------------
+    def pdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=float)
+        f = np.asarray(self.base.pdf(t), dtype=float)
+        sf = np.asarray(self.base.sf(t), dtype=float)
+        out = self.n_cores * f * np.clip(sf, 0.0, 1.0) ** (self.n_cores - 1)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=float)
+        sf = np.clip(np.asarray(self.base.sf(t), dtype=float), 0.0, 1.0)
+        out = 1.0 - sf**self.n_cores
+        return out if out.ndim else float(out)
+
+    def sf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=float)
+        sf = np.clip(np.asarray(self.base.sf(t), dtype=float), 0.0, 1.0)
+        out = sf**self.n_cores
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        """``E[Z(n)]`` — delegates to the base family's (possibly closed-form) formula."""
+        return self.base.expected_minimum(self.n_cores)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile probability must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.support()[0]
+        if q == 1.0:
+            return self.support()[1]
+        # F_Z(t) = q  <=>  F_Y(t) = 1 - (1 - q)^(1/n)
+        base_q = -math.expm1(math.log1p(-q) / self.n_cores)
+        return self.base.quantile(base_q)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        """Draw the minimum of ``n_cores`` base samples, ``size`` times."""
+        if size is None:
+            draws = self.base.sample(rng, self.n_cores)
+            return float(np.min(draws))
+        draws = self.base.sample(rng, (int(size), self.n_cores))
+        return np.min(np.asarray(draws, dtype=float), axis=1)
+
+    # ------------------------------------------------------------------
+    def min_of(self, n_cores: int) -> "MinDistribution":
+        """Composition: the minimum of minima is the minimum over the product."""
+        return MinDistribution(self.base, self.n_cores * int(n_cores))
+
+    def expected_minimum(self, n_cores: int) -> float:
+        return self.base.expected_minimum(self.n_cores * int(n_cores))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MinDistribution(base={self.base!r}, n_cores={self.n_cores})"

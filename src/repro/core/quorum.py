@@ -1,0 +1,115 @@
+"""Quorum (k-th finisher) generalisation of the multi-walk model.
+
+The paper's multi-walk stops at the *first* finisher — the first order
+statistic.  Several practical schemes instead wait for the ``k``-th
+finisher:
+
+* collecting ``k`` distinct solutions (e.g. enumerating Costas arrays, or
+  gathering a solution pool for a portfolio's learning phase);
+* robustness against stragglers or faulty workers (ignore the slowest
+  ``n - k`` walks);
+* statistical confidence (median-of-finishers estimators).
+
+:class:`QuorumSpeedupModel` extends the speed-up machinery to
+``Z_k(n) = k-th smallest of n i.i.d. runtimes`` using the order-statistic
+moments of :mod:`repro.core.order_stats` (closed form for the exponential
+family, quadrature otherwise).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable
+
+from repro.core.distributions.base import RuntimeDistribution
+from repro.core.distributions.exponential import ShiftedExponential
+from repro.core.order_stats import order_statistic_moment
+
+__all__ = ["QuorumCurve", "QuorumSpeedupModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QuorumCurve:
+    """Speed-ups of a ``k``-quorum multi-walk across core counts."""
+
+    quorum: int
+    cores: tuple[int, ...]
+    expected_runtimes: tuple[float, ...]
+    speedups: tuple[float, ...]
+
+    def as_dict(self) -> dict[int, float]:
+        return dict(zip(self.cores, self.speedups))
+
+
+class QuorumSpeedupModel:
+    """Predict the runtime of waiting for the ``k``-th finisher out of ``n`` walks.
+
+    Parameters
+    ----------
+    distribution:
+        Sequential runtime distribution ``Y``.
+    quorum:
+        Number of walks that must finish (``k``); ``k = 1`` recovers the
+        paper's model exactly.
+    """
+
+    def __init__(self, distribution: RuntimeDistribution, quorum: int = 1) -> None:
+        if quorum < 1:
+            raise ValueError(f"quorum must be >= 1, got {quorum}")
+        self.distribution = distribution
+        self.quorum = int(quorum)
+
+    # ------------------------------------------------------------------
+    def expected_kth_finisher(self, n_cores: int) -> float:
+        """``E[Z_k(n)]`` — expected runtime until the ``k``-th walk finishes."""
+        n = int(n_cores)
+        if n < self.quorum:
+            raise ValueError(
+                f"need at least as many walks as the quorum ({self.quorum}), got {n}"
+            )
+        if self.quorum == 1:
+            return self.distribution.expected_minimum(n)
+        if isinstance(self.distribution, ShiftedExponential):
+            # Rényi representation: E[X_(k:n)] = x0 + (1/lambda) * sum_{i=0}^{k-1} 1/(n-i).
+            lam = self.distribution.lam
+            total = sum(1.0 / (n - i) for i in range(self.quorum))
+            return self.distribution.x0 + total / lam
+        return order_statistic_moment(self.distribution, n=n, k=self.quorum)
+
+    def speedup(self, n_cores: int) -> float:
+        """Speed-up of the quorum multi-walk over collecting ``k`` solutions sequentially.
+
+        The sequential baseline for a ``k``-quorum is ``k`` independent runs
+        back to back, i.e. ``k * E[Y]``; the parallel cost is the ``k``-th
+        order statistic of ``n`` walks.
+        """
+        expected = self.expected_kth_finisher(n_cores)
+        if expected <= 0.0:
+            return math.inf
+        return self.quorum * self.distribution.mean() / expected
+
+    def curve(self, cores: Iterable[int]) -> QuorumCurve:
+        """Quorum speed-up curve over a collection of core counts."""
+        core_list = [int(c) for c in cores]
+        if not core_list:
+            raise ValueError("at least one core count is required")
+        expectations = tuple(self.expected_kth_finisher(c) for c in core_list)
+        sequential = self.quorum * self.distribution.mean()
+        speedups = tuple(sequential / e if e > 0 else math.inf for e in expectations)
+        return QuorumCurve(
+            quorum=self.quorum,
+            cores=tuple(core_list),
+            expected_runtimes=expectations,
+            speedups=speedups,
+        )
+
+    def overhead_vs_first_finisher(self, n_cores: int) -> float:
+        """How much longer waiting for the quorum takes than the first finisher.
+
+        Ratio ``E[Z_k(n)] / E[Z_1(n)] >= 1``; useful for sizing how many
+        extra cores are needed to hide the quorum requirement.
+        """
+        return self.expected_kth_finisher(n_cores) / self.distribution.expected_minimum(
+            int(n_cores)
+        )

@@ -1,0 +1,182 @@
+"""Speed-up prediction model ``G_n = E[Y] / E[Z(n)]`` (Section 3.2).
+
+:class:`SpeedupModel` bundles a sequential runtime distribution with the
+machinery needed to produce the paper's speed-up curves: point predictions
+for arbitrary core counts, whole curves, the asymptotic limit as the number
+of cores tends to infinity, the tangent at the origin, and the efficiency
+(speed-up divided by core count) used to locate the point where adding cores
+stops paying off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.distributions.base import RuntimeDistribution
+from repro.core.distributions.exponential import ShiftedExponential
+
+__all__ = ["SpeedupCurve", "SpeedupModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedupCurve:
+    """A predicted speed-up curve: core counts with matching speed-ups."""
+
+    cores: tuple[int, ...]
+    speedups: tuple[float, ...]
+    expected_runtimes: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cores) != len(self.speedups) or len(self.cores) != len(self.expected_runtimes):
+            raise ValueError("cores, speedups and expected_runtimes must have equal length")
+
+    def as_dict(self) -> dict[int, float]:
+        """Map core count -> predicted speed-up."""
+        return dict(zip(self.cores, self.speedups))
+
+    def efficiency(self) -> tuple[float, ...]:
+        """Parallel efficiency ``G_n / n`` per core count."""
+        return tuple(s / n for s, n in zip(self.speedups, self.cores))
+
+    def __iter__(self):
+        return iter(zip(self.cores, self.speedups))
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+
+class SpeedupModel:
+    """Predict multi-walk speed-ups from a sequential runtime distribution.
+
+    Parameters
+    ----------
+    distribution:
+        The sequential runtime distribution ``Y`` (parametric or empirical).
+    """
+
+    def __init__(self, distribution: RuntimeDistribution) -> None:
+        self.distribution = distribution
+
+    # ------------------------------------------------------------------
+    def expected_sequential(self) -> float:
+        """``E[Y]`` — expected runtime on a single core."""
+        return self.distribution.mean()
+
+    def expected_parallel(self, n_cores: int) -> float:
+        """``E[Z(n)]`` — expected runtime of the ``n``-core multi-walk."""
+        return self.distribution.expected_minimum(int(n_cores))
+
+    def speedup(self, n_cores: int) -> float:
+        """``G_n = E[Y] / E[Z(n)]`` for a single core count."""
+        n = int(n_cores)
+        if n < 1:
+            raise ValueError(f"number of cores must be >= 1, got {n_cores}")
+        return self.distribution.speedup(n)
+
+    def curve(self, cores: Iterable[int]) -> SpeedupCurve:
+        """Predicted speed-up curve over a collection of core counts."""
+        core_list = [int(c) for c in cores]
+        if not core_list:
+            raise ValueError("at least one core count is required")
+        if any(c < 1 for c in core_list):
+            raise ValueError(f"core counts must be >= 1, got {core_list}")
+        expectations = [self.expected_parallel(c) for c in core_list]
+        sequential = self.expected_sequential()
+        speedups = [sequential / e if e > 0 else math.inf for e in expectations]
+        return SpeedupCurve(
+            cores=tuple(core_list),
+            speedups=tuple(speedups),
+            expected_runtimes=tuple(expectations),
+        )
+
+    # ------------------------------------------------------------------
+    def limit(self) -> float:
+        """Asymptotic speed-up ``lim_{n -> inf} G_n``.
+
+        For a shifted exponential this is ``1 + 1/(x0 lambda)``; in general
+        it equals ``E[Y]`` divided by the essential infimum of ``Y`` (and is
+        infinite when that infimum is zero).
+        """
+        return self.distribution.speedup_limit()
+
+    def tangent_at_origin(self) -> float:
+        """Initial slope of the speed-up curve (per added core).
+
+        The paper reports the closed form ``x0 * lambda + 1`` for the shifted
+        exponential; for other families the slope is estimated by the finite
+        difference ``G_2 - G_1`` (``G_1 = 1`` by construction).
+        """
+        if isinstance(self.distribution, ShiftedExponential):
+            return self.distribution.speedup_tangent_at_origin()
+        return self.speedup(2) - 1.0
+
+    def cores_for_target_speedup(self, target: float, max_cores: int = 1 << 20) -> int | None:
+        """Smallest core count achieving ``G_n >= target`` (or ``None``).
+
+        Returns ``None`` when the target exceeds the asymptotic limit or is
+        not reached within ``max_cores`` (the search is a doubling followed
+        by bisection, so it stays cheap even for large answers).
+        """
+        if target <= 1.0:
+            return 1
+        limit = self.limit()
+        if math.isfinite(limit) and target > limit:
+            return None
+        lo, hi = 1, 2
+        while hi <= max_cores and self.speedup(hi) < target:
+            lo, hi = hi, hi * 2
+        if hi > max_cores:
+            return None
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.speedup(mid) >= target:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def efficiency(self, n_cores: int) -> float:
+        """Parallel efficiency ``G_n / n`` in ``(0, 1]`` for sub-linear scaling."""
+        n = int(n_cores)
+        return self.speedup(n) / n
+
+    def saturation_cores(self, efficiency_threshold: float = 0.5, max_cores: int = 1 << 20) -> int | None:
+        """Largest core count whose efficiency still exceeds the threshold.
+
+        Efficiency of a multi-walk is non-increasing in ``n`` for the
+        families considered here, so a doubling search suffices.  Returns
+        ``None`` when efficiency never drops below the threshold within
+        ``max_cores`` (e.g. a non-shifted exponential, which scales linearly).
+        """
+        if not 0.0 < efficiency_threshold <= 1.0:
+            raise ValueError(
+                f"efficiency threshold must be in (0, 1], got {efficiency_threshold}"
+            )
+        n = 1
+        while n <= max_cores:
+            if self.efficiency(n) < efficiency_threshold:
+                break
+            n *= 2
+        else:
+            return None
+        lo, hi = max(n // 2, 1), n
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.efficiency(mid) >= efficiency_threshold:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    def runtime_quantiles(self, n_cores: int, probabilities: Sequence[float]) -> np.ndarray:
+        """Quantiles of the ``n``-core multi-walk runtime distribution."""
+        min_dist = self.distribution.min_of(int(n_cores))
+        return np.array([min_dist.quantile(float(p)) for p in probabilities])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpeedupModel({self.distribution!r})"

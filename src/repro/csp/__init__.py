@@ -1,0 +1,50 @@
+"""Constraint-satisfaction substrate for constraint-based local search.
+
+The paper's Las Vegas algorithm (Adaptive Search) solves Constraint
+Satisfaction Problems by iterative repair guided by *error functions*: each
+constraint reports how far it is from being satisfied, errors are projected
+onto the variables, and the worst variable is repaired.  This package
+provides:
+
+* :mod:`repro.csp.model` — a general CSP model (variables, domains,
+  constraints with error functions, error projection).
+* :mod:`repro.csp.constraints` — the concrete constraints needed by the
+  benchmarks (all-different, linear sums, all-different over derived terms).
+* :mod:`repro.csp.permutation` — the permutation-search-space interface the
+  Adaptive Search solver consumes, plus an adapter turning a general CSP
+  over a permutation of values into that interface.
+* :mod:`repro.csp.problems` — the paper's three benchmarks (ALL-INTERVAL,
+  MAGIC-SQUARE, COSTAS ARRAY) and two extension problems (N-Queens,
+  Langford pairing).
+"""
+
+from repro.csp.constraints import (
+    AllDifferentConstraint,
+    FunctionalAllDifferentConstraint,
+    LinearSumConstraint,
+)
+from repro.csp.model import CSP, Constraint, Variable
+from repro.csp.permutation import CSPPermutationAdapter, PermutationProblem
+from repro.csp.problems import (
+    AllIntervalProblem,
+    CostasArrayProblem,
+    LangfordProblem,
+    MagicSquareProblem,
+    NQueensProblem,
+)
+
+__all__ = [
+    "AllDifferentConstraint",
+    "AllIntervalProblem",
+    "CSP",
+    "CSPPermutationAdapter",
+    "Constraint",
+    "CostasArrayProblem",
+    "FunctionalAllDifferentConstraint",
+    "LangfordProblem",
+    "LinearSumConstraint",
+    "MagicSquareProblem",
+    "NQueensProblem",
+    "PermutationProblem",
+    "Variable",
+]

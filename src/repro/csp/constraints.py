@@ -1,0 +1,127 @@
+"""Concrete constraints with error functions.
+
+The error function of a constraint measures "how much the constraint is
+violated" (paper, Section 4.2).  The three constraints implemented here are
+exactly the building blocks of the paper's benchmarks:
+
+* :class:`AllDifferentConstraint` — duplicated values (ALL-INTERVAL and the
+  permutation structure of every benchmark).
+* :class:`LinearSumConstraint` — ``sum(a_i * X_i) = target`` with error
+  ``|sum - target|`` (MAGIC-SQUARE rows/columns/diagonals).
+* :class:`FunctionalAllDifferentConstraint` — all-different over derived
+  terms ``g(assignment)`` (ALL-INTERVAL's consecutive differences, COSTAS'
+  displacement vectors, N-Queens' diagonals).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.csp.model import Constraint
+
+__all__ = [
+    "AllDifferentConstraint",
+    "FunctionalAllDifferentConstraint",
+    "LinearSumConstraint",
+]
+
+
+def _duplicate_count(values: Sequence[int]) -> int:
+    """Number of elements in excess of one per distinct value.
+
+    This is the natural all-different error: 0 when all values are distinct,
+    and each extra duplicate adds 1.
+    """
+    return len(values) - len(set(values))
+
+
+class AllDifferentConstraint(Constraint):
+    """All listed variables must take pairwise different values."""
+
+    def __init__(self, variable_names: Sequence[str], weight: float = 1.0) -> None:
+        if len(variable_names) < 2:
+            raise ValueError("all-different needs at least two variables")
+        if len(set(variable_names)) != len(variable_names):
+            raise ValueError("all-different variable list contains duplicates")
+        self._names = tuple(variable_names)
+        self.weight = float(weight)
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def error(self, assignment: Mapping[str, int]) -> float:
+        return float(_duplicate_count([assignment[name] for name in self._names]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AllDifferent({len(self._names)} variables)"
+
+
+class LinearSumConstraint(Constraint):
+    """``sum(coefficient_i * X_i) == target`` with error ``|sum - target|``."""
+
+    def __init__(
+        self,
+        variable_names: Sequence[str],
+        target: float,
+        coefficients: Sequence[float] | None = None,
+        weight: float = 1.0,
+    ) -> None:
+        if not variable_names:
+            raise ValueError("linear sum needs at least one variable")
+        self._names = tuple(variable_names)
+        self.target = float(target)
+        if coefficients is None:
+            self.coefficients = tuple(1.0 for _ in self._names)
+        else:
+            if len(coefficients) != len(self._names):
+                raise ValueError("coefficients and variables must have the same length")
+            self.coefficients = tuple(float(c) for c in coefficients)
+        self.weight = float(weight)
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def error(self, assignment: Mapping[str, int]) -> float:
+        total = sum(c * assignment[name] for c, name in zip(self.coefficients, self._names))
+        return abs(total - self.target)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearSum({len(self._names)} variables == {self.target})"
+
+
+class FunctionalAllDifferentConstraint(Constraint):
+    """All-different over derived terms computed from the assignment.
+
+    Parameters
+    ----------
+    variable_names:
+        Variables the derived terms depend on (for error projection).
+    terms:
+        Callable mapping the assignment to the sequence of derived values
+        that must be pairwise distinct (e.g. consecutive absolute
+        differences for ALL-INTERVAL).
+    """
+
+    def __init__(
+        self,
+        variable_names: Sequence[str],
+        terms: Callable[[Mapping[str, int]], Sequence[int]],
+        weight: float = 1.0,
+    ) -> None:
+        if not variable_names:
+            raise ValueError("functional all-different needs at least one variable")
+        self._names = tuple(variable_names)
+        self._terms = terms
+        self.weight = float(weight)
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def error(self, assignment: Mapping[str, int]) -> float:
+        return float(_duplicate_count(list(self._terms(assignment))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FunctionalAllDifferent({len(self._names)} variables)"

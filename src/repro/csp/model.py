@@ -1,0 +1,164 @@
+"""General CSP model with error functions (paper, Section 4.1–4.2).
+
+A CSP is a triple ``(X, D, C)``: variables, finite domains and constraints.
+For constraint-based local search every constraint additionally carries an
+*error function* returning, for a full assignment, a non-negative measure of
+how much the constraint is violated (0 when satisfied).  The model supports
+the two operations Adaptive Search needs:
+
+* total cost of an assignment (sum of constraint errors, optionally
+  weighted), and
+* projection of constraint errors onto variables (the per-variable
+  aggregation the solver uses to pick the "culprit" variable).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["CSP", "Constraint", "Variable"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Variable:
+    """A decision variable with a finite integer domain.
+
+    Attributes
+    ----------
+    name:
+        Unique variable name.
+    domain:
+        Tuple of admissible integer values.
+    """
+
+    name: str
+    domain: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if len(self.domain) == 0:
+            raise ValueError(f"variable {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ValueError(f"variable {self.name!r} has duplicate domain values")
+
+
+class Constraint(abc.ABC):
+    """A constraint over a subset of variables, equipped with an error function.
+
+    Subclasses implement :meth:`error`, returning 0 when the constraint is
+    satisfied by the assignment and a positive "distance to satisfaction"
+    otherwise (e.g. ``max(0, |X - Y| - c)`` for ``|X - Y| < c``), and declare
+    the variables they constrain via :attr:`variable_names`.
+    """
+
+    #: Relative weight of this constraint in the global cost (paper: priorities).
+    weight: float = 1.0
+
+    @property
+    @abc.abstractmethod
+    def variable_names(self) -> tuple[str, ...]:
+        """Names of the variables this constraint involves."""
+
+    @abc.abstractmethod
+    def error(self, assignment: Mapping[str, int]) -> float:
+        """Error of the constraint under a full assignment (0 = satisfied)."""
+
+    def is_satisfied(self, assignment: Mapping[str, int]) -> bool:
+        """Whether the constraint holds under the assignment."""
+        return self.error(assignment) == 0.0
+
+
+class CSP:
+    """A constraint satisfaction problem ``(X, D, C)`` with error projection.
+
+    Parameters
+    ----------
+    variables:
+        The problem's variables (names must be unique).
+    constraints:
+        Constraints over those variables; every constrained variable must be
+        declared.
+    """
+
+    def __init__(self, variables: Sequence[Variable], constraints: Sequence[Constraint]) -> None:
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ValueError("variable names must be unique")
+        if not variables:
+            raise ValueError("a CSP needs at least one variable")
+        self.variables: tuple[Variable, ...] = tuple(variables)
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+        self._index = {name: i for i, name in enumerate(names)}
+        for constraint in self.constraints:
+            unknown = [n for n in constraint.variable_names if n not in self._index]
+            if unknown:
+                raise ValueError(f"constraint {constraint!r} references unknown variables {unknown}")
+
+    # ------------------------------------------------------------------
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    def variable_index(self, name: str) -> int:
+        """Position of a variable in the canonical ordering."""
+        return self._index[name]
+
+    def constraints_on(self, name: str) -> tuple[Constraint, ...]:
+        """Constraints involving the named variable."""
+        return tuple(c for c in self.constraints if name in c.variable_names)
+
+    # ------------------------------------------------------------------
+    def cost(self, assignment: Mapping[str, int]) -> float:
+        """Global cost: weighted sum of constraint errors (0 iff solution)."""
+        self._check_assignment(assignment)
+        return float(sum(c.weight * c.error(assignment) for c in self.constraints))
+
+    def constraint_errors(self, assignment: Mapping[str, int]) -> np.ndarray:
+        """Unweighted error of each constraint, in declaration order."""
+        self._check_assignment(assignment)
+        return np.array([c.error(assignment) for c in self.constraints], dtype=float)
+
+    def variable_errors(self, assignment: Mapping[str, int]) -> dict[str, float]:
+        """Project constraint errors onto variables (paper, Section 4.2).
+
+        Each variable receives the weighted sum of the errors of the
+        constraints it appears in ("combination of errors is
+        problem-dependent [...] usually a simple sum").
+        """
+        self._check_assignment(assignment)
+        errors = {name: 0.0 for name in self.variable_names}
+        for constraint in self.constraints:
+            err = constraint.weight * constraint.error(assignment)
+            if err == 0.0:
+                continue
+            for name in constraint.variable_names:
+                errors[name] += err
+        return errors
+
+    def is_solution(self, assignment: Mapping[str, int]) -> bool:
+        """Whether every constraint is satisfied and domains are respected."""
+        self._check_assignment(assignment)
+        for variable in self.variables:
+            if assignment[variable.name] not in variable.domain:
+                return False
+        return all(c.is_satisfied(assignment) for c in self.constraints)
+
+    # ------------------------------------------------------------------
+    def random_assignment(self, rng: np.random.Generator) -> dict[str, int]:
+        """Uniformly random assignment drawing each variable from its domain."""
+        return {
+            v.name: int(v.domain[rng.integers(len(v.domain))]) for v in self.variables
+        }
+
+    def _check_assignment(self, assignment: Mapping[str, int]) -> None:
+        missing = [name for name in self.variable_names if name not in assignment]
+        if missing:
+            raise KeyError(f"assignment is missing variables {missing}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSP(n_variables={len(self.variables)}, n_constraints={len(self.constraints)})"

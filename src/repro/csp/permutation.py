@@ -1,0 +1,142 @@
+"""Permutation search spaces for constraint-based local search.
+
+All three of the paper's benchmarks are naturally modelled as *permutation
+problems*: the configuration is a permutation of a fixed multiset of values
+and the local-search move is a swap of two positions.  (This is also how the
+reference Adaptive Search implementation encodes them.)
+
+:class:`PermutationProblem` is the interface the solvers consume; it asks
+for a vectorised batched cost so that the solver can evaluate every
+candidate swap of the culprit variable in one numpy call, and for the
+per-variable error projection used to select that culprit.
+:class:`CSPPermutationAdapter` bridges the general :class:`repro.csp.model.CSP`
+model to this interface for problems whose variables form a permutation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.csp.model import CSP
+
+__all__ = ["CSPPermutationAdapter", "PermutationProblem"]
+
+
+class PermutationProblem(abc.ABC):
+    """A CSP whose configurations are permutations of :attr:`values`.
+
+    Subclasses implement the batched cost :meth:`cost_many` (vectorised over
+    a 2-D array of candidate permutations) and the per-variable error
+    projection :meth:`variable_errors`.
+    """
+
+    #: Problem family name (e.g. ``"all-interval"``).
+    name: str = "permutation-problem"
+
+    def __init__(self, size: int, values: np.ndarray | None = None) -> None:
+        if size < 2:
+            raise ValueError(f"a permutation problem needs at least 2 positions, got {size}")
+        self.size = int(size)
+        if values is None:
+            values = np.arange(self.size, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if values.size != self.size:
+            raise ValueError(f"expected {self.size} values, got {values.size}")
+        self.values = values
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def cost_many(self, perms: np.ndarray) -> np.ndarray:
+        """Global error of each configuration in a batch.
+
+        Parameters
+        ----------
+        perms:
+            Integer array of shape ``(batch, size)``; each row is a
+            permutation of :attr:`values`.
+
+        Returns
+        -------
+        numpy.ndarray
+            Float array of shape ``(batch,)`` with the global error of each
+            configuration (0 exactly for solutions).
+        """
+
+    @abc.abstractmethod
+    def variable_errors(self, perm: np.ndarray) -> np.ndarray:
+        """Constraint errors projected onto the variables (length ``size``)."""
+
+    # ------------------------------------------------------------------
+    def cost(self, perm: np.ndarray) -> float:
+        """Global error of a single configuration."""
+        perm = np.asarray(perm, dtype=np.int64)
+        return float(self.cost_many(perm[None, :])[0])
+
+    def is_solution(self, perm: np.ndarray) -> bool:
+        """Whether the configuration satisfies every constraint."""
+        return self.cost(perm) == 0.0
+
+    def check_permutation(self, perm: np.ndarray) -> bool:
+        """Whether ``perm`` is a permutation of :attr:`values`."""
+        perm = np.asarray(perm, dtype=np.int64)
+        return perm.size == self.size and np.array_equal(np.sort(perm), np.sort(self.values))
+
+    def random_configuration(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly random permutation of :attr:`values`."""
+        return rng.permutation(self.values)
+
+    def swap_costs(self, perm: np.ndarray, index: int) -> np.ndarray:
+        """Cost of swapping position ``index`` with every position.
+
+        Returns an array ``c`` of length ``size`` where ``c[j]`` is the
+        global error of the configuration obtained by exchanging the values
+        at positions ``index`` and ``j`` (``c[index]`` is the current cost).
+        The default implementation builds the batch of candidate
+        configurations and calls :meth:`cost_many`; problems with cheap
+        incremental evaluations may override it.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range for size {self.size}")
+        batch = np.repeat(perm[None, :], self.size, axis=0)
+        columns = np.arange(self.size)
+        batch[columns, columns] = perm[index]
+        batch[columns, index] = perm[columns]
+        return np.asarray(self.cost_many(batch), dtype=float)
+
+    def describe(self) -> str:
+        """Human-readable instance label (e.g. ``"costas-array 10"``)."""
+        return f"{self.name} {self.size}"
+
+
+class CSPPermutationAdapter(PermutationProblem):
+    """Expose a general :class:`CSP` over permuted values as a permutation problem.
+
+    The adapter assigns the ``i``-th CSP variable the value at position ``i``
+    of the permutation.  It is intentionally unoptimised (one Python-level
+    error evaluation per configuration); its role is cross-validation of the
+    specialised benchmark implementations and support for user-defined CSPs.
+    """
+
+    name = "csp-adapter"
+
+    def __init__(self, csp: CSP, values: Sequence[int] | np.ndarray) -> None:
+        super().__init__(size=len(csp.variables), values=np.asarray(values, dtype=np.int64))
+        self.csp = csp
+        self._names = csp.variable_names
+
+    def _assignment(self, perm: np.ndarray) -> dict[str, int]:
+        return {name: int(v) for name, v in zip(self._names, perm)}
+
+    def cost_many(self, perms: np.ndarray) -> np.ndarray:
+        perms = np.asarray(perms, dtype=np.int64)
+        if perms.ndim != 2 or perms.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {perms.shape}")
+        return np.array([self.csp.cost(self._assignment(row)) for row in perms], dtype=float)
+
+    def variable_errors(self, perm: np.ndarray) -> np.ndarray:
+        errors = self.csp.variable_errors(self._assignment(np.asarray(perm, dtype=np.int64)))
+        return np.array([errors[name] for name in self._names], dtype=float)

@@ -1,0 +1,28 @@
+"""Benchmark problems.
+
+The three problems evaluated by the paper:
+
+* :class:`AllIntervalProblem` — CSPLib prob007 (ALL-INTERVAL series).
+* :class:`MagicSquareProblem` — CSPLib prob019 (MAGIC-SQUARE).
+* :class:`CostasArrayProblem` — the Costas array problem.
+
+Two extension problems used by examples and tests to exercise the model on
+algorithms/problems beyond the paper's evaluation:
+
+* :class:`NQueensProblem` — permutation N-Queens.
+* :class:`LangfordProblem` — Langford pairing L(2, n).
+"""
+
+from repro.csp.problems.all_interval import AllIntervalProblem
+from repro.csp.problems.costas_array import CostasArrayProblem
+from repro.csp.problems.langford import LangfordProblem
+from repro.csp.problems.magic_square import MagicSquareProblem
+from repro.csp.problems.nqueens import NQueensProblem
+
+__all__ = [
+    "AllIntervalProblem",
+    "CostasArrayProblem",
+    "LangfordProblem",
+    "MagicSquareProblem",
+    "NQueensProblem",
+]

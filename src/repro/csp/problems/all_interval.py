@@ -1,0 +1,93 @@
+"""ALL-INTERVAL series problem (CSPLib prob007, paper Section 5.1).
+
+Find a permutation ``(X_1, ..., X_N)`` of ``{0, ..., N-1}`` such that the
+absolute differences of consecutive elements
+``(|X_1 - X_2|, |X_2 - X_3|, ..., |X_{N-1} - X_N|)`` are all distinct —
+i.e. form a permutation of ``{1, ..., N-1}``.  Musically: a twelve-tone-style
+series using every melodic interval exactly once.
+
+Error model (the one used by the reference Adaptive Search encoding):
+
+* global error = number of *missing* interval values = ``(N-1) - #distinct``;
+* variable error of position ``i`` = number of adjacent differences whose
+  value occurs more than once in the current difference list (a position
+  touching only unique intervals has error 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csp.constraints import FunctionalAllDifferentConstraint
+from repro.csp.model import CSP, Variable
+from repro.csp.permutation import PermutationProblem
+
+__all__ = ["AllIntervalProblem"]
+
+
+class AllIntervalProblem(PermutationProblem):
+    """ALL-INTERVAL series of length ``n`` as a permutation problem."""
+
+    name = "all-interval"
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError(f"the ALL-INTERVAL series needs n >= 3, got {n}")
+        super().__init__(size=n, values=np.arange(n, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    def cost_many(self, perms: np.ndarray) -> np.ndarray:
+        perms = np.asarray(perms, dtype=np.int64)
+        if perms.ndim != 2 or perms.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {perms.shape}")
+        diffs = np.abs(np.diff(perms, axis=1))
+        sorted_diffs = np.sort(diffs, axis=1)
+        distinct = 1 + np.count_nonzero(np.diff(sorted_diffs, axis=1), axis=1)
+        return (self.size - 1 - distinct).astype(float)
+
+    def variable_errors(self, perm: np.ndarray) -> np.ndarray:
+        perm = np.asarray(perm, dtype=np.int64)
+        diffs = np.abs(np.diff(perm))
+        counts = np.bincount(diffs, minlength=self.size)
+        duplicated = counts[diffs] > 1
+        errors = np.zeros(self.size, dtype=float)
+        errors[:-1] += duplicated
+        errors[1:] += duplicated
+        return errors
+
+    # ------------------------------------------------------------------
+    def interval_vector(self, perm: np.ndarray) -> np.ndarray:
+        """The consecutive absolute differences of a configuration."""
+        return np.abs(np.diff(np.asarray(perm, dtype=np.int64)))
+
+    def to_csp(self) -> CSP:
+        """Equivalent general-CSP model (used for cross-validation in tests)."""
+        names = [f"x{i}" for i in range(self.size)]
+        variables = [Variable(name, tuple(range(self.size))) for name in names]
+
+        def terms(assignment):
+            values = [assignment[name] for name in names]
+            return [abs(values[i] - values[i + 1]) for i in range(self.size - 1)]
+
+        constraints = [
+            FunctionalAllDifferentConstraint(names, terms),
+        ]
+        return CSP(variables, constraints)
+
+    @staticmethod
+    def reference_solution(n: int) -> np.ndarray:
+        """A known valid series for any ``n`` (zig-zag construction).
+
+        ``0, n-1, 1, n-2, 2, ...`` uses every interval ``n-1, n-2, ..., 1``
+        exactly once; handy for tests.
+        """
+        low, high = 0, n - 1
+        out = []
+        for i in range(n):
+            if i % 2 == 0:
+                out.append(low)
+                low += 1
+            else:
+                out.append(high)
+                high -= 1
+        return np.array(out, dtype=np.int64)

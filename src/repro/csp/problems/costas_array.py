@@ -1,0 +1,116 @@
+"""COSTAS ARRAY problem (paper, Section 5.3).
+
+A Costas array of order ``N`` is an ``N x N`` grid with exactly one mark per
+row and per column such that the ``N(N-1)/2`` displacement vectors joining
+pairs of marks are pairwise distinct.  Developed in the 1960s for sonar /
+radar frequency-hopping patterns with ideal auto-ambiguity properties.
+
+Permutation encoding (the one used by the paper): the configuration is a
+permutation ``(V_1, ..., V_N)`` of ``{1, ..., N}`` where ``V_i`` is the row
+of the mark in column ``i``.  The Costas property is equivalent to: for
+every column displacement ``d in {1, ..., N-1}``, the differences
+``V_{i+d} - V_i`` are pairwise distinct.
+
+Error model:
+
+* global error = total number of duplicated differences summed over all
+  displacements ``d``;
+* variable error of column ``i`` = number of duplicated differences whose
+  pair involves column ``i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csp.constraints import FunctionalAllDifferentConstraint
+from repro.csp.model import CSP, Variable
+from repro.csp.permutation import PermutationProblem
+
+__all__ = ["CostasArrayProblem"]
+
+
+class CostasArrayProblem(PermutationProblem):
+    """Costas array of order ``n`` as a permutation problem."""
+
+    name = "costas-array"
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError(f"Costas arrays of interest need n >= 3, got {n}")
+        super().__init__(size=n, values=np.arange(1, n + 1, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    def cost_many(self, perms: np.ndarray) -> np.ndarray:
+        perms = np.asarray(perms, dtype=np.int64)
+        if perms.ndim != 2 or perms.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {perms.shape}")
+        batch = perms.shape[0]
+        total = np.zeros(batch, dtype=np.int64)
+        for d in range(1, self.size):
+            diffs = perms[:, d:] - perms[:, :-d]
+            if diffs.shape[1] < 2:
+                continue
+            sorted_diffs = np.sort(diffs, axis=1)
+            duplicates = diffs.shape[1] - (1 + np.count_nonzero(np.diff(sorted_diffs, axis=1), axis=1))
+            total += duplicates
+        return total.astype(float)
+
+    def variable_errors(self, perm: np.ndarray) -> np.ndarray:
+        perm = np.asarray(perm, dtype=np.int64)
+        errors = np.zeros(self.size, dtype=float)
+        for d in range(1, self.size):
+            diffs = perm[d:] - perm[:-d]
+            if diffs.size < 2:
+                continue
+            values, counts = np.unique(diffs, return_counts=True)
+            duplicated_values = values[counts > 1]
+            if duplicated_values.size == 0:
+                continue
+            mask = np.isin(diffs, duplicated_values)
+            idx = np.nonzero(mask)[0]
+            errors[idx] += 1.0
+            errors[idx + d] += 1.0
+        return errors
+
+    # ------------------------------------------------------------------
+    def displacement_table(self, perm: np.ndarray) -> dict[int, np.ndarray]:
+        """Differences ``V_{i+d} - V_i`` per displacement ``d`` (diagnostics)."""
+        perm = np.asarray(perm, dtype=np.int64)
+        return {d: perm[d:] - perm[:-d] for d in range(1, self.size)}
+
+    def to_csp(self) -> CSP:
+        """Equivalent general-CSP model (one all-different per displacement)."""
+        names = [f"v{i}" for i in range(self.size)]
+        domain = tuple(range(1, self.size + 1))
+        variables = [Variable(name, domain) for name in names]
+        constraints = []
+
+        def make_terms(d: int):
+            def terms(assignment):
+                values = [assignment[name] for name in names]
+                return [values[i + d] - values[i] for i in range(self.size - d)]
+
+            return terms
+
+        for d in range(1, self.size - 1):
+            involved = names  # every column participates for small instances
+            constraints.append(FunctionalAllDifferentConstraint(involved, make_terms(d)))
+        return CSP(variables, constraints)
+
+    @staticmethod
+    def welch_construction(p: int, primitive_root: int) -> np.ndarray:
+        """Welch construction: a Costas array of order ``p - 1`` for prime ``p``.
+
+        ``V_i = g^i mod p`` for a primitive root ``g`` of the prime ``p``
+        yields a valid Costas array of order ``p - 1`` (used by tests as a
+        ground-truth solution).
+        """
+        if p < 3:
+            raise ValueError("p must be a prime >= 3")
+        values = []
+        current = 1
+        for _ in range(p - 1):
+            current = (current * primitive_root) % p
+            values.append(current)
+        return np.array(values, dtype=np.int64)

@@ -1,0 +1,82 @@
+"""Langford pairing problem L(2, n) (extension benchmark).
+
+Arrange two copies of each number ``1 .. n`` in a sequence of length ``2n``
+such that the two copies of ``k`` are separated by exactly ``k`` other
+numbers (i.e. their positions differ by ``k + 1``).  Solutions exist exactly
+when ``n ≡ 0 or 3 (mod 4)``.
+
+Encoded as a permutation of the multiset ``{1, 1, 2, 2, ..., n, n}`` — the
+swap neighbourhood of the Adaptive Search solver applies unchanged.
+
+Error model:
+
+* global error = ``sum_k | gap(k) - (k + 1) |`` where ``gap(k)`` is the
+  distance between the two occurrences of ``k``;
+* variable error of a position = the error of the value it currently holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csp.permutation import PermutationProblem
+
+__all__ = ["LangfordProblem"]
+
+
+class LangfordProblem(PermutationProblem):
+    """Langford pairing L(2, n) over a multiset permutation of length ``2n``."""
+
+    name = "langford"
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError(f"Langford pairings need n >= 3, got {n}")
+        if n % 4 not in (0, 3):
+            raise ValueError(
+                f"L(2, {n}) has no solution (n must be congruent to 0 or 3 modulo 4)"
+            )
+        self.n_values = int(n)
+        values = np.repeat(np.arange(1, n + 1, dtype=np.int64), 2)
+        super().__init__(size=2 * n, values=values)
+
+    def _gaps(self, perms: np.ndarray) -> np.ndarray:
+        """Distance between the two occurrences of each value, per row.
+
+        Returns an array of shape ``(batch, n_values)`` with
+        ``gap[b, k-1] = |pos2 - pos1|`` for value ``k`` in row ``b``.
+        """
+        batch = perms.shape[0]
+        gaps = np.empty((batch, self.n_values), dtype=np.int64)
+        for k in range(1, self.n_values + 1):
+            mask = perms == k
+            # argsort(~mask) lists the matching positions first (stable sort).
+            first_two = np.argsort(~mask, axis=1, kind="stable")[:, :2]
+            gaps[:, k - 1] = np.abs(first_two[:, 1] - first_two[:, 0])
+        return gaps
+
+    def cost_many(self, perms: np.ndarray) -> np.ndarray:
+        perms = np.asarray(perms, dtype=np.int64)
+        if perms.ndim != 2 or perms.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {perms.shape}")
+        gaps = self._gaps(perms)
+        targets = np.arange(1, self.n_values + 1) + 1
+        return np.abs(gaps - targets).sum(axis=1).astype(float)
+
+    def variable_errors(self, perm: np.ndarray) -> np.ndarray:
+        perm = np.asarray(perm, dtype=np.int64)
+        gaps = self._gaps(perm[None, :])[0]
+        targets = np.arange(1, self.n_values + 1) + 1
+        value_errors = np.abs(gaps - targets)
+        return value_errors[perm - 1].astype(float)
+
+    @staticmethod
+    def reference_solution(n: int) -> np.ndarray:
+        """A known solution for small instances (used in tests)."""
+        known = {
+            3: [2, 3, 1, 2, 1, 3],
+            4: [4, 1, 3, 1, 2, 4, 3, 2],
+        }
+        if n not in known:
+            raise ValueError(f"no stored reference solution for n={n}")
+        return np.array(known[n], dtype=np.int64)

@@ -1,0 +1,107 @@
+"""MAGIC-SQUARE problem (CSPLib prob019, paper Section 5.2).
+
+Place the numbers ``1 .. N^2`` on an ``N x N`` grid so that every row, every
+column and both main diagonals sum to the magic constant
+``M = N (N^2 + 1) / 2``.
+
+Encoded, as in the reference Adaptive Search implementation, as a
+permutation problem: the configuration is a permutation of ``1 .. N^2`` read
+row by row, and a local move swaps the content of two cells (which preserves
+the all-different structure by construction).
+
+Error model:
+
+* global error = sum over the ``2N + 2`` linear constraints of
+  ``|sum - M|``;
+* variable error of cell ``(r, c)`` = ``|row_r error| + |col_c error|``
+  plus the diagonal errors when the cell lies on a diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csp.constraints import LinearSumConstraint
+from repro.csp.model import CSP, Variable
+from repro.csp.permutation import PermutationProblem
+
+__all__ = ["MagicSquareProblem"]
+
+
+class MagicSquareProblem(PermutationProblem):
+    """``N x N`` magic square as a permutation of ``1 .. N^2``."""
+
+    name = "magic-square"
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ValueError(f"magic squares need N >= 3, got {n}")
+        self.n = int(n)
+        super().__init__(size=self.n * self.n, values=np.arange(1, self.n * self.n + 1, dtype=np.int64))
+        self.magic_constant = self.n * (self.n * self.n + 1) // 2
+
+    # ------------------------------------------------------------------
+    def cost_many(self, perms: np.ndarray) -> np.ndarray:
+        perms = np.asarray(perms, dtype=np.int64)
+        if perms.ndim != 2 or perms.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {perms.shape}")
+        batch = perms.shape[0]
+        grids = perms.reshape(batch, self.n, self.n)
+        magic = self.magic_constant
+        row_err = np.abs(grids.sum(axis=2) - magic).sum(axis=1)
+        col_err = np.abs(grids.sum(axis=1) - magic).sum(axis=1)
+        diag = grids[:, np.arange(self.n), np.arange(self.n)].sum(axis=1)
+        anti = grids[:, np.arange(self.n), self.n - 1 - np.arange(self.n)].sum(axis=1)
+        diag_err = np.abs(diag - magic) + np.abs(anti - magic)
+        return (row_err + col_err + diag_err).astype(float)
+
+    def variable_errors(self, perm: np.ndarray) -> np.ndarray:
+        grid = np.asarray(perm, dtype=np.int64).reshape(self.n, self.n)
+        magic = self.magic_constant
+        row_err = np.abs(grid.sum(axis=1) - magic)
+        col_err = np.abs(grid.sum(axis=0) - magic)
+        diag_err = abs(int(np.trace(grid)) - magic)
+        anti_err = abs(int(np.trace(np.fliplr(grid))) - magic)
+        errors = row_err[:, None] + col_err[None, :]
+        idx = np.arange(self.n)
+        errors = errors.astype(float)
+        errors[idx, idx] += diag_err
+        errors[idx, self.n - 1 - idx] += anti_err
+        return errors.reshape(-1)
+
+    # ------------------------------------------------------------------
+    def as_grid(self, perm: np.ndarray) -> np.ndarray:
+        """Reshape a configuration into its ``N x N`` grid."""
+        return np.asarray(perm, dtype=np.int64).reshape(self.n, self.n)
+
+    def to_csp(self) -> CSP:
+        """Equivalent general-CSP model over cell variables (for tests)."""
+        names = [f"c{r}_{c}" for r in range(self.n) for c in range(self.n)]
+        domain = tuple(range(1, self.n * self.n + 1))
+        variables = [Variable(name, domain) for name in names]
+        constraints = []
+        magic = float(self.magic_constant)
+        for r in range(self.n):
+            constraints.append(LinearSumConstraint([f"c{r}_{c}" for c in range(self.n)], magic))
+        for c in range(self.n):
+            constraints.append(LinearSumConstraint([f"c{r}_{c}" for r in range(self.n)], magic))
+        constraints.append(LinearSumConstraint([f"c{i}_{i}" for i in range(self.n)], magic))
+        constraints.append(
+            LinearSumConstraint([f"c{i}_{self.n - 1 - i}" for i in range(self.n)], magic)
+        )
+        return CSP(variables, constraints)
+
+    @staticmethod
+    def reference_solution(n: int) -> np.ndarray:
+        """A valid magic square for odd ``n`` (Siamese method), for tests."""
+        if n % 2 == 0:
+            raise ValueError("the Siamese construction only covers odd orders")
+        grid = np.zeros((n, n), dtype=np.int64)
+        row, col = 0, n // 2
+        for value in range(1, n * n + 1):
+            grid[row, col] = value
+            next_row, next_col = (row - 1) % n, (col + 1) % n
+            if grid[next_row, next_col]:
+                next_row, next_col = (row + 1) % n, col
+            row, col = next_row, next_col
+        return grid.reshape(-1)

@@ -1,0 +1,60 @@
+"""N-Queens problem (extension benchmark).
+
+Not part of the paper's evaluation, but the classical testbed of the
+min-conflict heuristic the Adaptive Search repair step is built on
+(Minton et al., cited by the paper).  Permutation encoding: ``Q_i`` is the
+row of the queen in column ``i``; rows and columns are then all-different by
+construction and only the two diagonal families can conflict.
+
+Error model:
+
+* global error = duplicated values among ``Q_i + i`` plus duplicated values
+  among ``Q_i - i``;
+* variable error of column ``i`` = number of its diagonals that are shared
+  with at least one other queen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csp.permutation import PermutationProblem
+
+__all__ = ["NQueensProblem"]
+
+
+def _duplicates_per_row(values: np.ndarray) -> np.ndarray:
+    """Number of duplicated entries per row of a 2-D integer array."""
+    sorted_values = np.sort(values, axis=1)
+    distinct = 1 + np.count_nonzero(np.diff(sorted_values, axis=1), axis=1)
+    return values.shape[1] - distinct
+
+
+class NQueensProblem(PermutationProblem):
+    """N-Queens as a permutation of rows over columns."""
+
+    name = "n-queens"
+
+    def __init__(self, n: int) -> None:
+        if n < 4:
+            raise ValueError(f"N-Queens is only solvable for n >= 4, got {n}")
+        super().__init__(size=n, values=np.arange(n, dtype=np.int64))
+
+    def cost_many(self, perms: np.ndarray) -> np.ndarray:
+        perms = np.asarray(perms, dtype=np.int64)
+        if perms.ndim != 2 or perms.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {perms.shape}")
+        idx = np.arange(self.size)
+        plus = _duplicates_per_row(perms + idx)
+        minus = _duplicates_per_row(perms - idx)
+        return (plus + minus).astype(float)
+
+    def variable_errors(self, perm: np.ndarray) -> np.ndarray:
+        perm = np.asarray(perm, dtype=np.int64)
+        idx = np.arange(self.size)
+        errors = np.zeros(self.size, dtype=float)
+        for diag in (perm + idx, perm - idx):
+            values, counts = np.unique(diag, return_counts=True)
+            duplicated = values[counts > 1]
+            errors += np.isin(diag, duplicated)
+        return errors

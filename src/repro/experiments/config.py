@@ -1,0 +1,169 @@
+"""Experiment configuration: instance sizes, run counts, core counts.
+
+The paper's evaluation uses MAGIC-SQUARE 200x200, ALL-INTERVAL 700 and
+COSTAS 21 with ~650 sequential runs and 50 parallel runs per core count on a
+256-core cluster.  Those instances need cluster-months of C code; this
+reproduction runs the same algorithm on scaled-down instances (the paper
+itself argues the distribution *shape* is stable across instance sizes for a
+given problem, which is what the prediction relies on).  Two profiles are
+provided:
+
+* ``quick`` — sized so the whole table/figure suite runs in minutes on a
+  single laptop core (used by the test-suite and the benchmark harness).
+* ``full``  — larger instances and more runs for a closer reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+from repro.csp.permutation import PermutationProblem
+from repro.csp.problems import AllIntervalProblem, CostasArrayProblem, MagicSquareProblem
+from repro.solvers.adaptive_search import AdaptiveSearch, AdaptiveSearchConfig
+
+__all__ = ["BENCHMARK_KEYS", "BenchmarkSpec", "ExperimentConfig"]
+
+#: Order in which the three benchmarks appear in every paper table.
+BENCHMARK_KEYS: tuple[str, ...] = ("MS", "AI", "Costas")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark row: problem instance plus its display label."""
+
+    key: str
+    label: str
+    problem_factory: Callable[[], PermutationProblem]
+
+    def make_solver(self, max_iterations: int) -> AdaptiveSearch:
+        """Instantiate the Adaptive Search solver for this benchmark."""
+        return AdaptiveSearch(
+            self.problem_factory(),
+            AdaptiveSearchConfig(max_iterations=max_iterations),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment.
+
+    Attributes
+    ----------
+    magic_square_n, all_interval_n, costas_n:
+        Instance sizes of the three benchmarks (the paper uses 200, 700, 21).
+    n_sequential_runs:
+        Independent sequential runs collected per benchmark (paper: ~650).
+    n_parallel_runs:
+        Simulated parallel executions averaged per core count (paper: 50).
+    cores:
+        Core counts evaluated in the speed-up tables (paper: 16…256).
+    extended_cores:
+        Core counts for the Figure 14 extension (paper: up to 8192).
+    max_iterations:
+        Per-run iteration budget of the solver (censoring threshold).
+    base_seed:
+        Root seed from which all per-run seeds are derived.
+    """
+
+    magic_square_n: int = 4
+    all_interval_n: int = 12
+    costas_n: int = 10
+    n_sequential_runs: int = 80
+    n_parallel_runs: int = 50
+    cores: tuple[int, ...] = (16, 32, 64, 128, 256)
+    extended_cores: tuple[int, ...] = (512, 1024, 2048, 4096, 8192)
+    max_iterations: int = 200_000
+    base_seed: int = 20130813  # ICPP 2013 nod; any fixed value works
+
+    def __post_init__(self) -> None:
+        if self.n_sequential_runs < 2:
+            raise ValueError("need at least two sequential runs")
+        if self.n_parallel_runs < 1:
+            raise ValueError("need at least one parallel run")
+        if not self.cores or any(c < 1 for c in self.cores):
+            raise ValueError(f"core counts must be positive, got {self.cores}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Laptop/CI profile: small instances, enough runs for stable fits."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        """Longer campaign: larger instances, paper-scale run counts."""
+        return cls(
+            magic_square_n=5,
+            all_interval_n=16,
+            costas_n=12,
+            n_sequential_runs=400,
+            n_parallel_runs=50,
+            max_iterations=2_000_000,
+        )
+
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """Smallest meaningful profile, used by the fast unit tests."""
+        return cls(
+            magic_square_n=3,
+            all_interval_n=8,
+            costas_n=7,
+            n_sequential_runs=30,
+            n_parallel_runs=20,
+            cores=(4, 16, 64),
+            extended_cores=(128, 256),
+            max_iterations=50_000,
+        )
+
+    # ------------------------------------------------------------------
+    def benchmarks(self) -> Mapping[str, BenchmarkSpec]:
+        """The three paper benchmarks at this configuration's sizes."""
+        ms_n = self.magic_square_n
+        ai_n = self.all_interval_n
+        costas_n = self.costas_n
+        return {
+            "MS": BenchmarkSpec(
+                key="MS",
+                label=f"MS {ms_n}x{ms_n}",
+                problem_factory=lambda: MagicSquareProblem(ms_n),
+            ),
+            "AI": BenchmarkSpec(
+                key="AI",
+                label=f"AI {ai_n}",
+                problem_factory=lambda: AllIntervalProblem(ai_n),
+            ),
+            "Costas": BenchmarkSpec(
+                key="Costas",
+                label=f"Costas {costas_n}",
+                problem_factory=lambda: CostasArrayProblem(costas_n),
+            ),
+        }
+
+    #: Distribution family the paper fits to each benchmark (Section 6).
+    PAPER_FAMILIES: Mapping[str, str] = dataclasses.field(
+        default_factory=lambda: {
+            "MS": "shifted_lognormal",
+            "AI": "shifted_exponential",
+            "Costas": "shifted_exponential",
+        }
+    )
+
+    #: Shift rule the paper applies to each benchmark (Section 6).
+    PAPER_SHIFT_RULES: Mapping[str, str] = dataclasses.field(
+        default_factory=lambda: {
+            "MS": "min",
+            "AI": "min",
+            "Costas": "zero_if_negligible",
+        }
+    )
+
+    def paper_family(self, key: str) -> str:
+        """Family the paper uses for benchmark ``key``."""
+        return self.PAPER_FAMILIES[key]
+
+    def paper_shift_rule(self, key: str) -> str:
+        """Shift rule the paper uses for benchmark ``key``."""
+        return self.PAPER_SHIFT_RULES[key]

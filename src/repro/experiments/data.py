@@ -1,0 +1,113 @@
+"""Collection and caching of the sequential solver campaigns.
+
+Every solver-backed experiment (Tables 1–5, Figures 6–14) consumes the same
+raw material: a batch of independent sequential Adaptive Search runs per
+benchmark.  Collecting them is by far the most expensive step, so batches
+are cached in-process (keyed by the configuration) and can optionally be
+persisted to / reloaded from JSON files so that repeated CLI invocations
+reuse earlier campaigns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Mapping
+
+from repro.experiments.config import BENCHMARK_KEYS, ExperimentConfig
+from repro.multiwalk.observations import RuntimeObservations
+from repro.multiwalk.runner import run_sequential_batch
+
+__all__ = ["collect_benchmark_observations", "clear_observation_cache"]
+
+#: In-process cache: config fingerprint -> benchmark key -> observations.
+_CACHE: dict[tuple, dict[str, RuntimeObservations]] = {}
+
+
+def _config_fingerprint(config: ExperimentConfig) -> tuple:
+    """Hashable identity of the parts of the config that affect the runs."""
+    return (
+        config.magic_square_n,
+        config.all_interval_n,
+        config.costas_n,
+        config.n_sequential_runs,
+        config.max_iterations,
+        config.base_seed,
+    )
+
+
+def clear_observation_cache() -> None:
+    """Drop all cached campaigns (mostly useful in tests)."""
+    _CACHE.clear()
+
+
+def _cache_file(cache_dir: Path, config: ExperimentConfig, key: str) -> Path:
+    parts = "-".join(str(p) for p in _config_fingerprint(config))
+    return cache_dir / f"observations-{key}-{parts}.json"
+
+
+def collect_benchmark_observations(
+    config: ExperimentConfig,
+    *,
+    cache_dir: str | Path | None = None,
+) -> Mapping[str, RuntimeObservations]:
+    """Run (or reuse) the sequential campaigns for the three benchmarks.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration (instance sizes, run counts, seed).
+    cache_dir:
+        Optional directory for JSON persistence across processes.  Files are
+        keyed by the configuration fingerprint, so changing any size/seed
+        parameter triggers a fresh campaign.
+    """
+    fingerprint = _config_fingerprint(config)
+    if fingerprint in _CACHE:
+        return dict(_CACHE[fingerprint])
+
+    directory = Path(cache_dir) if cache_dir is not None else None
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+
+    benchmarks = config.benchmarks()
+    observations: dict[str, RuntimeObservations] = {}
+    for offset, key in enumerate(BENCHMARK_KEYS):
+        spec = benchmarks[key]
+        if directory is not None:
+            path = _cache_file(directory, config, key)
+            if path.exists():
+                observations[key] = RuntimeObservations.load(path)
+                continue
+        solver = spec.make_solver(config.max_iterations)
+        batch = run_sequential_batch(
+            solver,
+            config.n_sequential_runs,
+            base_seed=config.base_seed + offset,
+            label=spec.label,
+        )
+        observations[key] = batch
+        if directory is not None:
+            batch.save(_cache_file(directory, config, key))
+
+    _CACHE[fingerprint] = dict(observations)
+    return observations
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSummary:
+    """Bookkeeping record describing a collected campaign (used by the CLI)."""
+
+    config: ExperimentConfig
+    n_runs: Mapping[str, int]
+    success_rates: Mapping[str, float]
+
+    @classmethod
+    def from_observations(
+        cls, config: ExperimentConfig, observations: Mapping[str, RuntimeObservations]
+    ) -> "CampaignSummary":
+        return cls(
+            config=config,
+            n_runs={key: obs.n_runs for key, obs in observations.items()},
+            success_rates={key: obs.success_rate() for key, obs in observations.items()},
+        )

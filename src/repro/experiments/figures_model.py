@@ -1,0 +1,151 @@
+"""Figures 1–5: illustrations of the probabilistic model (no solver needed).
+
+* Figure 1 — min-distribution of a (truncated) gaussian for n = 1, 10, 100,
+  1000.
+* Figure 2 — min-distribution of a shifted exponential (x0 = 100,
+  lambda = 1/1000) for n = 1, 2, 4, 8.
+* Figure 3 — predicted speed-up for that shifted exponential up to 256
+  cores (limit 11).
+* Figure 4 — min-distribution of a lognormal (x0 = 0, mu = 5, sigma = 1)
+  for n = 1, 2, 4, 8.
+* Figure 5 — predicted speed-up for that lognormal up to 256 cores.
+
+The parameters are exactly the ones printed in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.distributions import LogNormalRuntime, ShiftedExponential, TruncatedGaussian
+from repro.core.distributions.base import RuntimeDistribution
+from repro.core.speedup import SpeedupCurve, SpeedupModel
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "MinDistributionFigure",
+    "SpeedupCurveFigure",
+    "figure1_gaussian_min",
+    "figure2_exponential_min",
+    "figure3_exponential_speedup",
+    "figure4_lognormal_min",
+    "figure5_lognormal_speedup",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MinDistributionFigure:
+    """Densities of ``Z(n)`` for several ``n`` on a common abscissa grid."""
+
+    title: str
+    base: RuntimeDistribution
+    grid: np.ndarray
+    densities: Mapping[int, np.ndarray]
+
+    def peak_location(self, n_cores: int) -> float:
+        """Abscissa of the density peak (moves toward the origin as n grows)."""
+        dens = self.densities[n_cores]
+        return float(self.grid[int(np.argmax(dens))])
+
+    def format(self) -> str:
+        headers = ["runtime"] + [f"n={n}" for n in self.densities]
+        stride = max(1, self.grid.size // 20)
+        rows = []
+        for i in range(0, self.grid.size, stride):
+            rows.append(
+                [self.grid[i]] + [float(self.densities[n][i]) for n in self.densities]
+            )
+        return format_table(headers, rows, title=self.title, float_format="{:.3e}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedupCurveFigure:
+    """A predicted speed-up curve together with its asymptotic limit."""
+
+    title: str
+    base: RuntimeDistribution
+    curve: SpeedupCurve
+    limit: float
+
+    def format(self) -> str:
+        series = {"predicted speed-up": list(self.curve.speedups)}
+        body = format_series(
+            list(self.curve.cores), series, title=self.title, x_label="cores"
+        )
+        return body + f"\nasymptotic limit: {self.limit:.4g}"
+
+
+def _min_densities(
+    base: RuntimeDistribution, grid: np.ndarray, core_counts: Sequence[int]
+) -> Mapping[int, np.ndarray]:
+    return {n: np.asarray(base.min_of(n).pdf(grid), dtype=float) for n in core_counts}
+
+
+# ----------------------------------------------------------------------
+def figure1_gaussian_min() -> MinDistributionFigure:
+    """Figure 1: gaussian (cut on R- and renormalised), n = 1, 10, 100, 1000."""
+    base = TruncatedGaussian(mu=25.0, sigma=10.0, lower=0.0)
+    grid = np.linspace(0.0, 55.0, 221)
+    return MinDistributionFigure(
+        title="Figure 1. Min-distribution of a truncated gaussian (mu=25, sigma=10)",
+        base=base,
+        grid=grid,
+        densities=_min_densities(base, grid, (1, 10, 100, 1000)),
+    )
+
+
+def figure2_exponential_min() -> MinDistributionFigure:
+    """Figure 2: shifted exponential x0=100, lambda=1/1000, n = 1, 2, 4, 8."""
+    base = ShiftedExponential(x0=100.0, lam=1.0 / 1000.0)
+    grid = np.linspace(0.0, 1100.0, 221)
+    return MinDistributionFigure(
+        title="Figure 2. Min-distribution of a shifted exponential (x0=100, lambda=1/1000)",
+        base=base,
+        grid=grid,
+        densities=_min_densities(base, grid, (1, 2, 4, 8)),
+    )
+
+
+def figure3_exponential_speedup(max_cores: int = 256) -> SpeedupCurveFigure:
+    """Figure 3: predicted speed-up of the shifted exponential of Figure 2."""
+    base = ShiftedExponential(x0=100.0, lam=1.0 / 1000.0)
+    model = SpeedupModel(base)
+    cores = list(range(1, max_cores + 1, max(1, max_cores // 64)))
+    if cores[-1] != max_cores:
+        cores.append(max_cores)
+    return SpeedupCurveFigure(
+        title="Figure 3. Predicted speed-up, shifted exponential (x0=100, lambda=1/1000)",
+        base=base,
+        curve=model.curve(cores),
+        limit=model.limit(),
+    )
+
+
+def figure4_lognormal_min() -> MinDistributionFigure:
+    """Figure 4: lognormal x0=0, mu=5, sigma=1, n = 1, 2, 4, 8."""
+    base = LogNormalRuntime(mu=5.0, sigma=1.0, x0=0.0)
+    grid = np.linspace(1.0, 260.0, 260)
+    return MinDistributionFigure(
+        title="Figure 4. Min-distribution of a lognormal (x0=0, mu=5, sigma=1)",
+        base=base,
+        grid=grid,
+        densities=_min_densities(base, grid, (1, 2, 4, 8)),
+    )
+
+
+def figure5_lognormal_speedup(max_cores: int = 256) -> SpeedupCurveFigure:
+    """Figure 5: predicted speed-up of the lognormal of Figure 4."""
+    base = LogNormalRuntime(mu=5.0, sigma=1.0, x0=0.0)
+    model = SpeedupModel(base)
+    cores = list(range(1, max_cores + 1, max(1, max_cores // 32)))
+    if cores[-1] != max_cores:
+        cores.append(max_cores)
+    return SpeedupCurveFigure(
+        title="Figure 5. Predicted speed-up, lognormal (x0=0, mu=5, sigma=1)",
+        base=base,
+        curve=model.curve(cores),
+        limit=model.limit(),
+    )

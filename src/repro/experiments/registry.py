@@ -1,0 +1,58 @@
+"""Registry mapping paper table/figure identifiers to experiment functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import collect_benchmark_observations
+from repro.experiments import figures_experiments, figures_fits, figures_model, tables
+
+__all__ = ["EXPERIMENTS", "list_experiments", "run_experiment"]
+
+#: Experiment id -> (callable, needs_observations, description).
+EXPERIMENTS: Mapping[str, tuple[Callable, bool, str]] = {
+    "table1": (tables.table1_sequential_times, True, "Sequential execution times"),
+    "table2": (tables.table2_sequential_iterations, True, "Sequential iteration counts"),
+    "table3": (tables.table3_time_speedups, True, "Measured speed-ups w.r.t. time"),
+    "table4": (tables.table4_iteration_speedups, True, "Measured speed-ups w.r.t. iterations"),
+    "table5": (tables.table5_prediction_comparison, True, "Experimental vs predicted speed-ups"),
+    "figure1": (figures_model.figure1_gaussian_min, False, "Min-distribution of a gaussian"),
+    "figure2": (figures_model.figure2_exponential_min, False, "Min-distribution of a shifted exponential"),
+    "figure3": (figures_model.figure3_exponential_speedup, False, "Predicted speed-up, shifted exponential"),
+    "figure4": (figures_model.figure4_lognormal_min, False, "Min-distribution of a lognormal"),
+    "figure5": (figures_model.figure5_lognormal_speedup, False, "Predicted speed-up, lognormal"),
+    "figure6": (figures_experiments.figure6_csplib_speedups, True, "Measured speed-ups, CSPLib benchmarks"),
+    "figure7": (figures_experiments.figure7_costas_speedups, True, "Measured speed-ups, Costas"),
+    "figure8": (figures_fits.figure8_all_interval_fit, True, "ALL-INTERVAL histogram + exponential fit"),
+    "figure9": (figures_fits.figure9_all_interval_prediction, True, "Predicted speed-up, ALL-INTERVAL"),
+    "figure10": (figures_fits.figure10_magic_square_fit, True, "MAGIC-SQUARE histogram + lognormal fit"),
+    "figure11": (figures_fits.figure11_magic_square_prediction, True, "Predicted speed-up, MAGIC-SQUARE"),
+    "figure12": (figures_fits.figure12_costas_fit, True, "COSTAS histogram + exponential fit"),
+    "figure13": (figures_fits.figure13_costas_prediction, True, "Predicted speed-up, COSTAS"),
+    "figure14": (figures_experiments.figure14_costas_extended, True, "COSTAS speed-up at large core counts"),
+}
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """Available experiment ids with their one-line descriptions."""
+    return [(name, description) for name, (_, _, description) in EXPERIMENTS.items()]
+
+
+def run_experiment(name: str, config: ExperimentConfig | None = None, **kwargs):
+    """Run one experiment by its paper identifier and return its result object.
+
+    Solver-backed experiments share the sequential campaign through the
+    observation cache, so running several of them only pays the solver cost
+    once per configuration.
+    """
+    try:
+        func, needs_observations, _ = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known experiments: {known}") from None
+    if needs_observations:
+        config = config or ExperimentConfig.quick()
+        observations = kwargs.pop("observations", None) or collect_benchmark_observations(config)
+        return func(config, observations, **kwargs)
+    return func(**kwargs)

@@ -1,0 +1,73 @@
+"""Plain-text table and series formatting shared by all experiments.
+
+The harness has to *print the same rows/series the paper reports* without a
+plotting stack, so every experiment result carries simple tabular data and
+uses these helpers to render aligned text tables and ASCII curves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    x_label: str = "cores",
+    width: int = 60,
+) -> str:
+    """Render one or more named series as a table plus an ASCII profile.
+
+    Each series gets a column; a final block sketches the first series as a
+    horizontal bar chart so the curve shape is visible in a terminal.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [values[i] for values in series.values()])
+    table = format_table(headers, rows, title=title, float_format="{:.2f}")
+    if not series:
+        return table
+    first_name, first_values = next(iter(series.items()))
+    maximum = max(max(v for v in first_values if v == v), 1e-12)
+    bars = []
+    for x, value in zip(x_values, first_values):
+        bar = "#" * int(round(width * value / maximum))
+        bars.append(f"{x!s:>8} |{bar}")
+    return table + f"\n\n{first_name}:\n" + "\n".join(bars)

@@ -1,0 +1,36 @@
+"""Multi-walk execution substrate (Definition 2 of the paper).
+
+An independent multi-walk runs ``n`` copies of a Las Vegas algorithm with
+independent random streams and stops as soon as the first copy finds a
+solution.  This package provides three ways to realise it:
+
+* :mod:`repro.multiwalk.runner` — sequential batch collection of
+  independent runs (the raw material for Tables 1–2 and for fitting).
+* :mod:`repro.multiwalk.simulate` — the *simulated* multi-walk: group
+  independent sequential runs into blocks of ``n`` and keep each block's
+  minimum.  Because an independent multi-walk involves no communication,
+  this is behaviourally identical to a parallel execution and is how the
+  reproduction stands in for the paper's 256-core cluster.
+* :mod:`repro.multiwalk.parallel` — a real ``multiprocessing`` executor
+  (first-finisher-wins) for modest core counts.
+"""
+
+from repro.multiwalk.observations import RuntimeObservations
+from repro.multiwalk.parallel import MultiWalkExecutor, emulate_multiwalk
+from repro.multiwalk.runner import collect_observations, run_sequential_batch
+from repro.multiwalk.simulate import (
+    MultiwalkMeasurement,
+    simulate_multiwalk_from_observations,
+    simulate_multiwalk_speedups,
+)
+
+__all__ = [
+    "MultiWalkExecutor",
+    "MultiwalkMeasurement",
+    "RuntimeObservations",
+    "collect_observations",
+    "emulate_multiwalk",
+    "run_sequential_batch",
+    "simulate_multiwalk_from_observations",
+    "simulate_multiwalk_speedups",
+]

@@ -1,0 +1,15 @@
+"""Boolean satisfiability substrate.
+
+The paper's conclusion names SAT solvers (algorithm portfolios in the SAT
+community are the multi-walk scheme under another name) as the next target
+for the prediction model.  This package provides the substrate needed to
+exercise that claim offline: CNF formulas, a random k-SAT generator with a
+controllable clause-to-variable ratio, and a planted-solution generator that
+guarantees satisfiability (so WalkSAT runs are proper Las Vegas runs that
+terminate with probability one).
+"""
+
+from repro.sat.cnf import CNFFormula, Clause
+from repro.sat.generators import random_ksat, random_planted_ksat
+
+__all__ = ["CNFFormula", "Clause", "random_ksat", "random_planted_ksat"]

@@ -1,0 +1,150 @@
+"""CNF formulas in DIMACS-style literal encoding.
+
+Literals are non-zero integers: ``+v`` is variable ``v`` (1-based) and
+``-v`` its negation.  Assignments are boolean numpy arrays indexed by
+``v - 1``.  The representation is array-based so that WalkSAT's hot path
+(count satisfied clauses, find unsatisfied clauses, evaluate a flip) is
+vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["CNFFormula", "Clause"]
+
+#: A clause is a tuple of non-zero integer literals.
+Clause = tuple[int, ...]
+
+
+class CNFFormula:
+    """A CNF formula over ``n_variables`` boolean variables.
+
+    Parameters
+    ----------
+    n_variables:
+        Number of variables (named ``1 .. n_variables``).
+    clauses:
+        Iterable of clauses, each a sequence of non-zero literals whose
+        absolute values are at most ``n_variables``.
+    """
+
+    def __init__(self, n_variables: int, clauses: Iterable[Sequence[int]]) -> None:
+        if n_variables < 1:
+            raise ValueError(f"a formula needs at least one variable, got {n_variables}")
+        self.n_variables = int(n_variables)
+        normalised: list[Clause] = []
+        for clause in clauses:
+            clause = tuple(int(lit) for lit in clause)
+            if not clause:
+                raise ValueError("empty clauses are not allowed (they are unsatisfiable)")
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.n_variables:
+                    raise ValueError(f"literal {lit} out of range for {self.n_variables} variables")
+            normalised.append(clause)
+        if not normalised:
+            raise ValueError("a formula needs at least one clause")
+        self.clauses: tuple[Clause, ...] = tuple(normalised)
+        # Rectangular literal matrix padded with zeros for vectorised evaluation.
+        width = max(len(c) for c in self.clauses)
+        matrix = np.zeros((len(self.clauses), width), dtype=np.int64)
+        for row, clause in enumerate(self.clauses):
+            matrix[row, : len(clause)] = clause
+        self._literals = matrix
+        self._variables = np.abs(matrix) - 1          # index -1 where padded
+        self._signs = matrix > 0
+        self._padding = matrix == 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def clause_satisfaction(self, assignment: np.ndarray) -> np.ndarray:
+        """Boolean vector: which clauses are satisfied by the assignment."""
+        assignment = self._check_assignment(assignment)
+        values = assignment[np.clip(self._variables, 0, self.n_variables - 1)]
+        literal_true = np.where(self._signs, values, ~values)
+        literal_true = np.where(self._padding, False, literal_true)
+        return literal_true.any(axis=1)
+
+    def count_unsatisfied(self, assignment: np.ndarray) -> int:
+        """Number of clauses violated by the assignment."""
+        return int((~self.clause_satisfaction(assignment)).sum())
+
+    def unsatisfied_clauses(self, assignment: np.ndarray) -> np.ndarray:
+        """Indices of the clauses violated by the assignment."""
+        return np.flatnonzero(~self.clause_satisfaction(assignment))
+
+    def is_satisfied(self, assignment: np.ndarray) -> bool:
+        """Whether the assignment satisfies every clause."""
+        return self.count_unsatisfied(assignment) == 0
+
+    def break_count(self, assignment: np.ndarray, variable: int) -> int:
+        """Number of currently-satisfied clauses broken by flipping ``variable``.
+
+        ``variable`` is 0-based.  This is WalkSAT's "break" score.
+        """
+        assignment = self._check_assignment(assignment)
+        if not 0 <= variable < self.n_variables:
+            raise IndexError(f"variable index {variable} out of range")
+        flipped = assignment.copy()
+        flipped[variable] = ~flipped[variable]
+        before = self.clause_satisfaction(assignment)
+        after = self.clause_satisfaction(flipped)
+        return int(np.count_nonzero(before & ~after))
+
+    def random_assignment(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly random truth assignment."""
+        return rng.integers(0, 2, size=self.n_variables, dtype=np.int64).astype(bool)
+
+    def _check_assignment(self, assignment: np.ndarray) -> np.ndarray:
+        assignment = np.asarray(assignment, dtype=bool)
+        if assignment.shape != (self.n_variables,):
+            raise ValueError(
+                f"assignment must have shape ({self.n_variables},), got {assignment.shape}"
+            )
+        return assignment
+
+    # ------------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        """Serialise to the standard DIMACS CNF text format."""
+        lines = [f"p cnf {self.n_variables} {self.n_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNFFormula":
+        """Parse a DIMACS CNF document (comments and a header line expected)."""
+        n_variables: int | None = None
+        clauses: list[list[int]] = []
+        current: list[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed DIMACS header: {line!r}")
+                n_variables = int(parts[2])
+                continue
+            for token in line.split():
+                literal = int(token)
+                if literal == 0:
+                    if current:
+                        clauses.append(current)
+                        current = []
+                else:
+                    current.append(literal)
+        if current:
+            clauses.append(current)
+        if n_variables is None:
+            raise ValueError("missing DIMACS header line")
+        return cls(n_variables, clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNFFormula(n_variables={self.n_variables}, n_clauses={self.n_clauses})"

@@ -1,0 +1,27 @@
+"""Instance-size extrapolation (the paper's proposed future work).
+
+The conclusion of the paper sketches a method for predicting the speed-up of
+a *large* instance without ever solving it sequentially: observe that, for a
+given problem/algorithm pair, the runtime-distribution *shape* is stable
+across instance sizes (all ALL-INTERVAL instances fit a shifted
+exponential), learn how the distribution's parameters scale with the
+instance size on *small* instances, extrapolate the parameters to the target
+size, and apply the Section 3 model to the extrapolated distribution.
+
+* :mod:`repro.scaling.laws` — power-law / log-linear parameter-scaling fits.
+* :mod:`repro.scaling.study` — the end-to-end
+  :class:`~repro.scaling.study.InstanceScalingStudy` driver: collect runs at
+  several small sizes, check the family is stable, fit the scaling laws and
+  produce an extrapolated speed-up prediction for a larger size.
+"""
+
+from repro.scaling.laws import PowerLawFit, fit_power_law
+from repro.scaling.study import ExtrapolatedPrediction, InstanceScalingStudy, SizeObservation
+
+__all__ = [
+    "ExtrapolatedPrediction",
+    "InstanceScalingStudy",
+    "PowerLawFit",
+    "SizeObservation",
+    "fit_power_law",
+]

@@ -1,0 +1,76 @@
+"""Parameter-scaling laws across instance sizes.
+
+Combinatorial-search costs typically grow polynomially or exponentially with
+the instance size; on a log scale both look locally linear, so the library
+fits power laws ``y = a * size^b`` by least squares in log-log space, which
+is robust for the handful of sizes a scaling study can afford, and exposes
+the fit quality so callers can tell when the extrapolation is trustworthy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted power law ``y = coefficient * size ** exponent``."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+    n_points: int
+
+    def predict(self, size: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the law at one or more sizes."""
+        value = self.coefficient * np.asarray(size, dtype=float) ** self.exponent
+        return value if np.ndim(value) else float(value)
+
+    def is_reliable(self, threshold: float = 0.8) -> bool:
+        """Whether the log-log fit explains most of the variance."""
+        return self.n_points >= 3 and self.r_squared >= threshold
+
+
+def fit_power_law(sizes: Sequence[float], values: Sequence[float]) -> PowerLawFit:
+    """Least-squares power-law fit in log-log space.
+
+    Non-positive values are not representable in log space; they are clamped
+    to a tiny positive constant, which effectively treats them as "very
+    small" rather than discarding the point (a shift estimated as 0 at one
+    size should pull the extrapolated shift down, not vanish).
+    """
+    sizes = np.asarray(sizes, dtype=float).ravel()
+    values = np.asarray(values, dtype=float).ravel()
+    if sizes.size != values.size:
+        raise ValueError("sizes and values must have the same length")
+    if sizes.size < 2:
+        raise ValueError("a power-law fit needs at least two sizes")
+    if np.any(sizes <= 0):
+        raise ValueError("sizes must be positive")
+    tiny = max(float(values[values > 0].min()) * 1e-6, 1e-12) if np.any(values > 0) else 1e-12
+    clipped = np.clip(values, tiny, None)
+
+    log_x = np.log(sizes)
+    log_y = np.log(clipped)
+    exponent, log_coefficient = np.polyfit(log_x, log_y, deg=1)
+    predicted = exponent * log_x + log_coefficient
+    residual = float(np.sum((log_y - predicted) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    # Constant data (total ~ 0 up to rounding) is a perfect fit by definition;
+    # guard against 0/0 and rounding-noise ratios blowing the score up.
+    if total <= 1e-18 * max(1.0, float(np.max(np.abs(log_y))) ** 2):
+        r_squared = 1.0
+    else:
+        r_squared = max(0.0, 1.0 - residual / total)
+    return PowerLawFit(
+        coefficient=float(math.exp(log_coefficient)),
+        exponent=float(exponent),
+        r_squared=r_squared,
+        n_points=int(sizes.size),
+    )

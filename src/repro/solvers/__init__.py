@@ -1,0 +1,30 @@
+"""Las Vegas algorithms used as subjects of the speed-up prediction model.
+
+* :mod:`repro.solvers.base` — the :class:`LasVegasAlgorithm` interface and
+  :class:`RunResult` record shared by every solver.
+* :mod:`repro.solvers.adaptive_search` — the paper's algorithm: the
+  Adaptive Search constraint-based local-search metaheuristic.
+* :mod:`repro.solvers.random_restart` — a plain min-conflict hill climber
+  with random restarts, used as a baseline Las Vegas algorithm.
+* :mod:`repro.solvers.walksat` — WalkSAT on CNF formulas (the paper's
+  future-work section explicitly names SAT solvers).
+* :mod:`repro.solvers.quicksort` — randomized quicksort comparison counts
+  (the paper's other named future-work example).
+"""
+
+from repro.solvers.adaptive_search import AdaptiveSearch, AdaptiveSearchConfig
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+from repro.solvers.quicksort import RandomizedQuicksort
+from repro.solvers.random_restart import RandomRestartSearch
+from repro.solvers.walksat import WalkSAT, WalkSATConfig
+
+__all__ = [
+    "AdaptiveSearch",
+    "AdaptiveSearchConfig",
+    "LasVegasAlgorithm",
+    "RandomizedQuicksort",
+    "RandomRestartSearch",
+    "RunResult",
+    "WalkSAT",
+    "WalkSATConfig",
+]

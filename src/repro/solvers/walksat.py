@@ -1,0 +1,107 @@
+"""WalkSAT — stochastic local search for SAT (extension Las Vegas algorithm).
+
+The paper's conclusion proposes applying the prediction model to SAT
+solvers; WalkSAT (Selman, Kautz & Cohen) is the canonical stochastic local
+search SAT procedure and the engine behind the portfolio approaches the
+paper cites.  One *flip* is counted as one iteration, making the iteration
+counts directly comparable with the Adaptive Search benchmarks.
+
+Algorithm (WalkSAT/SKC variant):
+
+1. start from a uniformly random assignment;
+2. pick an unsatisfied clause uniformly at random;
+3. if some variable in it has break-count zero (flipping it breaks no
+   currently-satisfied clause), flip such a "free" variable;
+4. otherwise, with probability ``noise`` flip a random variable of the
+   clause, and with probability ``1 - noise`` flip the variable with the
+   minimum break-count;
+5. repeat until the formula is satisfied or the flip budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.sat.cnf import CNFFormula
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+
+__all__ = ["WalkSAT", "WalkSATConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkSATConfig:
+    """Parameters of the WalkSAT solver."""
+
+    max_flips: int = 100_000
+    noise: float = 0.5
+    restart_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_flips < 1:
+            raise ValueError(f"max_flips must be >= 1, got {self.max_flips}")
+        if not 0.0 <= self.noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {self.noise}")
+        if self.restart_after is not None and self.restart_after < 1:
+            raise ValueError(f"restart_after must be >= 1 or None, got {self.restart_after}")
+
+
+class WalkSAT(LasVegasAlgorithm):
+    """WalkSAT/SKC over a CNF formula."""
+
+    def __init__(self, formula: CNFFormula, config: WalkSATConfig | None = None) -> None:
+        self.formula = formula
+        self.config = config or WalkSATConfig()
+        self.name = f"walksat[{formula.n_variables}v/{formula.n_clauses}c]"
+
+    def _run(self, rng: np.random.Generator) -> RunResult:
+        formula = self.formula
+        config = self.config
+
+        assignment = formula.random_assignment(rng)
+        flips = 0
+        restarts = 0
+        flips_since_restart = 0
+
+        unsatisfied = formula.unsatisfied_clauses(assignment)
+        while unsatisfied.size > 0 and flips < config.max_flips:
+            if (
+                config.restart_after is not None
+                and flips_since_restart >= config.restart_after
+            ):
+                assignment = formula.random_assignment(rng)
+                restarts += 1
+                flips_since_restart = 0
+                unsatisfied = formula.unsatisfied_clauses(assignment)
+                continue
+
+            clause_index = int(unsatisfied[rng.integers(unsatisfied.size)])
+            clause = formula.clauses[clause_index]
+            variables = [abs(lit) - 1 for lit in clause]
+            breaks = np.array(
+                [formula.break_count(assignment, var) for var in variables], dtype=np.int64
+            )
+
+            if (breaks == 0).any():
+                candidates = np.flatnonzero(breaks == 0)
+                chosen = variables[int(candidates[rng.integers(candidates.size)])]
+            elif rng.random() < config.noise:
+                chosen = variables[int(rng.integers(len(variables)))]
+            else:
+                candidates = np.flatnonzero(breaks == breaks.min())
+                chosen = variables[int(candidates[rng.integers(candidates.size)])]
+
+            assignment[chosen] = ~assignment[chosen]
+            flips += 1
+            flips_since_restart += 1
+            unsatisfied = formula.unsatisfied_clauses(assignment)
+
+        solved = unsatisfied.size == 0
+        return RunResult(
+            solved=solved,
+            iterations=flips,
+            runtime_seconds=0.0,
+            solution=assignment.copy() if solved else None,
+            restarts=restarts,
+        )

@@ -1,0 +1,35 @@
+"""Descriptive and nonparametric statistics for runtime observations.
+
+Supports the evaluation section of the paper:
+
+* :mod:`repro.stats.descriptive` — min / mean / median / max summaries
+  (Tables 1 and 2) and dispersion ratios.
+* :mod:`repro.stats.ecdf` — empirical CDF utilities.
+* :mod:`repro.stats.histogram` — normalised histograms overlaid with fitted
+  densities (Figures 8, 10, 12).
+* :mod:`repro.stats.bootstrap` — bootstrap confidence intervals for means,
+  speed-ups and fitted parameters.
+* :mod:`repro.stats.ttt` — time-to-target plots (Aiex/Resende/Ribeiro),
+  the diagnostic the paper cites as evidence for exponential runtimes.
+"""
+
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_speedup_ci
+from repro.stats.descriptive import RuntimeSummary, dispersion_ratio, summarize
+from repro.stats.ecdf import empirical_cdf, empirical_cdf_function
+from repro.stats.histogram import HistogramOverlay, density_histogram, histogram_with_fit
+from repro.stats.ttt import TimeToTargetPlot, time_to_target
+
+__all__ = [
+    "HistogramOverlay",
+    "RuntimeSummary",
+    "TimeToTargetPlot",
+    "bootstrap_ci",
+    "bootstrap_speedup_ci",
+    "density_histogram",
+    "dispersion_ratio",
+    "empirical_cdf",
+    "empirical_cdf_function",
+    "histogram_with_fit",
+    "summarize",
+    "time_to_target",
+]

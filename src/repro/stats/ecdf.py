@@ -1,0 +1,40 @@
+"""Empirical cumulative distribution function utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "empirical_cdf_function"]
+
+
+def empirical_cdf(observations: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)``.
+
+    The probabilities are the right-continuous step heights ``i / m`` at the
+    ``i``-th sorted observation — the convention used by the
+    Kolmogorov–Smirnov machinery in :mod:`repro.core.fitting.ks`.
+    """
+    data = np.sort(np.asarray(observations, dtype=float).ravel())
+    if data.size == 0:
+        raise ValueError("empirical CDF needs at least one observation")
+    probs = np.arange(1, data.size + 1, dtype=float) / data.size
+    return data, probs
+
+
+def empirical_cdf_function(
+    observations: Sequence[float] | np.ndarray,
+) -> Callable[[np.ndarray | float], np.ndarray | float]:
+    """Return a vectorised callable evaluating the empirical CDF anywhere."""
+    data = np.sort(np.asarray(observations, dtype=float).ravel())
+    if data.size == 0:
+        raise ValueError("empirical CDF needs at least one observation")
+    m = data.size
+
+    def cdf(t: np.ndarray | float) -> np.ndarray | float:
+        t_arr = np.asarray(t, dtype=float)
+        out = np.searchsorted(data, t_arr, side="right") / m
+        return out if out.ndim else float(out)
+
+    return cdf

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite.
+
+Solver campaigns are by far the slowest part of testing, so a single tiny
+campaign is collected once per session and shared by every experiment-layer
+test through the ``tiny_observations`` fixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import collect_benchmark_observations
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator for each test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ExperimentConfig:
+    """Smallest meaningful experiment configuration."""
+    return ExperimentConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_observations(tiny_config):
+    """One shared solver campaign for all experiment-layer tests."""
+    return collect_benchmark_observations(tiny_config)

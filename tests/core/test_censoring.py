@@ -1,0 +1,140 @@
+"""Censored-run fitting, Kaplan–Meier survival and incomplete-algorithm model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.censoring import (
+    IncompleteRunModel,
+    censored_exponential_fit,
+    censored_mean,
+    kaplan_meier,
+)
+from repro.core.distributions import ShiftedExponential
+from repro.multiwalk.observations import RuntimeObservations
+
+
+def censor(data: np.ndarray, budget: float) -> tuple[np.ndarray, np.ndarray]:
+    flags = data > budget
+    return np.where(flags, budget, data), flags
+
+
+class TestCensoredExponentialFit:
+    def test_no_censoring_matches_plain_mle(self, rng):
+        data = ShiftedExponential(x0=0.0, lam=0.01).sample(rng, 400)
+        fit = censored_exponential_fit(data, np.zeros(data.size, dtype=bool), x0=0.0)
+        assert fit.lam == pytest.approx(data.size / data.sum(), rel=1e-12)
+
+    def test_censoring_corrects_optimistic_bias(self, rng):
+        """Dropping censored runs underestimates the mean; the MLE does not."""
+        true = ShiftedExponential(x0=0.0, lam=1e-3)
+        data = true.sample(rng, 2000)
+        budget = float(np.quantile(data, 0.7))
+        values, flags = censor(data, budget)
+        naive_mean = values[~flags].mean()
+        corrected = censored_mean(values, flags)
+        assert naive_mean < 0.75 * true.mean()
+        assert corrected == pytest.approx(true.mean(), rel=0.1)
+
+    def test_rate_recovery_under_heavy_censoring(self, rng):
+        true = ShiftedExponential(x0=100.0, lam=5e-3)
+        data = true.sample(rng, 3000)
+        values, flags = censor(data, float(np.quantile(data, 0.5)))
+        fit = censored_exponential_fit(values, flags)
+        assert fit.lam == pytest.approx(true.lam, rel=0.15)
+
+    def test_all_censored_rejected(self):
+        with pytest.raises(ValueError):
+            censored_exponential_fit([10.0, 10.0], [True, True])
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            censored_exponential_fit([1.0], [False, True])
+        with pytest.raises(ValueError):
+            censored_exponential_fit([], [])
+        with pytest.raises(ValueError):
+            censored_exponential_fit([-1.0], [False])
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical_cdf(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        km = kaplan_meier(data, np.zeros(4, dtype=bool))
+        np.testing.assert_allclose(km.survival_at(np.array([1.0, 2.5, 4.0])), [0.75, 0.5, 0.0])
+        assert km.cdf_at(2.0) == pytest.approx(0.5)
+        assert km.n_events == 4
+        assert km.n_censored == 0
+
+    def test_textbook_censored_example(self):
+        # Events at 1 and 3; censored at 2 and 4.
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        flags = np.array([False, True, False, True])
+        km = kaplan_meier(values, flags)
+        # S(1) = 3/4; S(3) = 3/4 * (1 - 1/2) = 3/8.
+        assert km.survival_at(1.0) == pytest.approx(0.75)
+        assert km.survival_at(3.5) == pytest.approx(0.375)
+
+    def test_survival_before_first_event_is_one(self):
+        km = kaplan_meier([5.0, 6.0], [False, False])
+        assert km.survival_at(1.0) == 1.0
+
+    def test_restricted_mean_close_to_true_mean_without_censoring(self, rng):
+        data = rng.exponential(100.0, 3000)
+        km = kaplan_meier(data, np.zeros(data.size, dtype=bool))
+        assert km.restricted_mean() == pytest.approx(data.mean(), rel=0.02)
+
+    def test_all_censored_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([1.0, 2.0], [True, True])
+
+
+class TestIncompleteRunModel:
+    def test_multiwalk_success_probability(self):
+        model = IncompleteRunModel(success_probability=0.2, mean_success_cost=100.0, budget=500.0)
+        assert model.multiwalk_success_probability(1) == pytest.approx(0.2)
+        assert model.multiwalk_success_probability(4) == pytest.approx(1 - 0.8**4)
+
+    def test_cores_for_success_probability(self):
+        model = IncompleteRunModel(success_probability=0.1, mean_success_cost=1.0, budget=10.0)
+        n = model.cores_for_success_probability(0.99)
+        assert model.multiwalk_success_probability(n) >= 0.99
+        assert model.multiwalk_success_probability(n - 1) < 0.99
+
+    def test_certain_success_needs_one_core(self):
+        model = IncompleteRunModel(success_probability=1.0, mean_success_cost=5.0, budget=10.0)
+        assert model.cores_for_success_probability(0.999) == 1
+        assert model.multiwalk_success_probability(3) == pytest.approx(1.0)
+
+    def test_effective_speedup_grows_with_cores(self):
+        model = IncompleteRunModel(success_probability=0.05, mean_success_cost=50.0, budget=200.0)
+        speedups = [model.effective_speedup(n) for n in (1, 4, 16, 64)]
+        assert speedups[0] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+
+    def test_expected_sequential_cost(self):
+        model = IncompleteRunModel(success_probability=0.5, mean_success_cost=10.0, budget=100.0)
+        assert model.expected_sequential_cost_with_restarts() == pytest.approx(10.0 + 100.0)
+
+    def test_from_observations(self):
+        batch = RuntimeObservations(
+            label="x",
+            iterations=np.array([10.0, 20.0, 50.0, 50.0]),
+            runtimes=np.zeros(4),
+            solved=np.array([True, True, False, False]),
+            seeds=np.full(4, -1, dtype=np.int64),
+        )
+        model = IncompleteRunModel.from_observations(batch, budget=50.0)
+        assert model.success_probability == pytest.approx(0.5)
+        assert model.mean_success_cost == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncompleteRunModel(success_probability=0.0, mean_success_cost=1.0, budget=1.0)
+        with pytest.raises(ValueError):
+            IncompleteRunModel(success_probability=0.5, mean_success_cost=1.0, budget=0.0)
+        model = IncompleteRunModel(success_probability=0.5, mean_success_cost=1.0, budget=1.0)
+        with pytest.raises(ValueError):
+            model.multiwalk_success_probability(0)
+        with pytest.raises(ValueError):
+            model.cores_for_success_probability(1.0)

@@ -1,0 +1,97 @@
+"""Empirical (nonparametric) runtime distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import EmpiricalDistribution
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+
+    def test_rejects_negative_or_non_finite(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, -2.0])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, math.nan])
+
+    def test_observations_are_sorted_copy(self):
+        data = [5.0, 1.0, 3.0]
+        dist = EmpiricalDistribution(data)
+        np.testing.assert_array_equal(dist.observations, [1.0, 3.0, 5.0])
+        assert dist.n_observations == 3
+
+
+class TestStatistics:
+    def test_mean_median_variance(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        dist = EmpiricalDistribution(data)
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.median() == pytest.approx(2.5)
+        assert dist.variance() == pytest.approx(np.var(data))
+
+    def test_cdf_is_step_function(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1.0) == 0.25
+        assert dist.cdf(2.5) == 0.5
+        assert dist.cdf(4.0) == 1.0
+
+    def test_quantile_matches_numpy(self):
+        data = np.array([3.0, 7.0, 1.0, 9.0, 5.0])
+        dist = EmpiricalDistribution(data)
+        assert dist.quantile(0.5) == pytest.approx(np.quantile(data, 0.5))
+
+    def test_sample_draws_from_observations(self, rng):
+        data = np.array([2.0, 4.0, 8.0])
+        dist = EmpiricalDistribution(data)
+        draws = dist.sample(rng, 100)
+        assert set(np.unique(draws)).issubset(set(data))
+
+    def test_pdf_histogram_integrates_to_one(self):
+        rng = np.random.default_rng(3)
+        data = rng.exponential(10.0, 500)
+        dist = EmpiricalDistribution(data)
+        grid = np.linspace(data.min(), data.max(), 4000)
+        mass = np.trapezoid(dist.pdf(grid), grid)
+        assert mass == pytest.approx(1.0, rel=0.05)
+
+
+class TestExpectedMinimum:
+    def test_n_equal_one_is_sample_mean(self):
+        data = np.array([1.0, 5.0, 9.0])
+        dist = EmpiricalDistribution(data)
+        assert dist.expected_minimum(1) == pytest.approx(data.mean())
+
+    def test_exact_formula_two_points(self):
+        # Two observations a < b: P[min of n draws = b] = (1/2)^n.
+        dist = EmpiricalDistribution([10.0, 20.0])
+        for n in (1, 2, 5):
+            expected = 20.0 * 0.5**n + 10.0 * (1 - 0.5**n)
+            assert dist.expected_minimum(n) == pytest.approx(expected)
+
+    def test_matches_monte_carlo(self, rng):
+        data = rng.lognormal(3.0, 1.0, size=200)
+        dist = EmpiricalDistribution(data)
+        n = 8
+        draws = rng.choice(data, size=(20000, n), replace=True).min(axis=1)
+        assert dist.expected_minimum(n) == pytest.approx(draws.mean(), rel=0.03)
+
+    def test_converges_to_sample_minimum(self):
+        data = np.array([3.0, 10.0, 40.0, 100.0])
+        dist = EmpiricalDistribution(data)
+        assert dist.expected_minimum(10_000) == pytest.approx(3.0, rel=1e-3)
+
+    def test_speedup_limit(self):
+        dist = EmpiricalDistribution([2.0, 4.0, 6.0])
+        assert dist.speedup_limit() == pytest.approx(4.0 / 2.0)
+        assert math.isinf(EmpiricalDistribution([0.0, 5.0]).speedup_limit())
+
+    def test_rejects_bad_core_count(self):
+        dist = EmpiricalDistribution([1.0, 2.0])
+        with pytest.raises(ValueError):
+            dist.expected_minimum(0)

@@ -1,0 +1,103 @@
+"""Kolmogorov–Smirnov test implementation, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.distributions import ShiftedExponential, UniformRuntime
+from repro.core.fitting.ks import (
+    KSTestResult,
+    kolmogorov_pvalue,
+    kolmogorov_smirnov_statistic,
+    ks_test,
+)
+
+
+class TestStatistic:
+    def test_matches_scipy_exponential(self, rng):
+        dist = ShiftedExponential(x0=0.0, lam=0.01)
+        data = dist.sample(rng, 500)
+        ours = kolmogorov_smirnov_statistic(data, dist.cdf)
+        reference = stats.kstest(data, lambda t: dist.cdf(t)).statistic
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    def test_matches_scipy_uniform(self, rng):
+        data = rng.uniform(0.0, 1.0, 300)
+        dist = UniformRuntime(low=0.0, high=1.0)
+        ours = kolmogorov_smirnov_statistic(data, dist.cdf)
+        reference = stats.kstest(data, "uniform").statistic
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    def test_perfect_fit_has_small_statistic(self):
+        """Data placed at the theoretical quantiles has D = 1/(2m)."""
+        m = 100
+        dist = UniformRuntime(low=0.0, high=1.0)
+        data = (np.arange(1, m + 1) - 0.5) / m
+        assert kolmogorov_smirnov_statistic(data, dist.cdf) == pytest.approx(0.5 / m)
+
+    def test_gross_mismatch_has_large_statistic(self):
+        dist = UniformRuntime(low=0.0, high=1.0)
+        data = np.full(50, 0.999)
+        assert kolmogorov_smirnov_statistic(data, dist.cdf) > 0.9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            kolmogorov_smirnov_statistic(np.array([]), lambda t: t)
+
+
+class TestPValue:
+    def test_matches_scipy_asymptotic(self, rng):
+        dist = ShiftedExponential(x0=0.0, lam=1.0)
+        data = dist.sample(rng, 400)
+        statistic = kolmogorov_smirnov_statistic(data, dist.cdf)
+        ours = kolmogorov_pvalue(statistic, data.size)
+        reference = stats.kstest(data, lambda t: dist.cdf(t), method="asymp").pvalue
+        assert ours == pytest.approx(reference, abs=0.02)
+
+    def test_zero_statistic_gives_pvalue_one(self):
+        assert kolmogorov_pvalue(0.0, 100) == 1.0
+
+    def test_large_statistic_gives_tiny_pvalue(self):
+        assert kolmogorov_pvalue(0.5, 200) < 1e-10
+
+    def test_monotone_in_statistic(self):
+        p_values = [kolmogorov_pvalue(d, 100) for d in (0.02, 0.05, 0.1, 0.2)]
+        assert all(a >= b for a, b in zip(p_values, p_values[1:]))
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kolmogorov_pvalue(-0.1, 10)
+        with pytest.raises(ValueError):
+            kolmogorov_pvalue(1.5, 10)
+        with pytest.raises(ValueError):
+            kolmogorov_pvalue(0.1, 0)
+
+
+class TestKsTest:
+    def test_accepts_correct_model(self, rng):
+        dist = ShiftedExponential(x0=100.0, lam=1e-3)
+        data = dist.sample(rng, 600)
+        result = ks_test(data, dist)
+        assert isinstance(result, KSTestResult)
+        assert result.p_value > 0.05
+        assert not result.rejects()
+
+    def test_rejects_wrong_model(self, rng):
+        data = rng.lognormal(3.0, 1.5, size=600)
+        wrong = ShiftedExponential(x0=0.0, lam=1.0 / float(np.mean(data)))
+        result = ks_test(data, wrong)
+        assert result.rejects()
+
+    def test_accepts_cdf_callable(self, rng):
+        data = rng.uniform(size=200)
+        result = ks_test(data, lambda t: np.clip(t, 0.0, 1.0))
+        assert result.p_value > 0.01
+
+    def test_records_sample_size(self, rng):
+        data = rng.uniform(size=123)
+        result = ks_test(data, lambda t: np.clip(t, 0.0, 1.0))
+        assert result.n_observations == 123
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            ks_test(np.array([]), lambda t: t)

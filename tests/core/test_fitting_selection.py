@@ -1,0 +1,96 @@
+"""fit_distribution / select_best_fit and the FitResult record."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import LogNormalRuntime, ShiftedExponential
+from repro.core.fitting.selection import (
+    DEFAULT_CANDIDATES,
+    FitResult,
+    fit_distribution,
+    select_best_fit,
+)
+
+
+class TestFitDistribution:
+    def test_fits_paper_ai700_style_data(self, rng):
+        """Shifted-exponential data is accepted with a healthy p-value."""
+        true = ShiftedExponential(x0=1217.0, lam=9.16e-6)
+        data = true.sample(rng, 720)
+        fit = fit_distribution(data, "shifted_exponential", shift_rule="min")
+        assert fit.accepted()
+        assert fit.distribution.params()["x0"] == pytest.approx(float(data.min()))
+        assert fit.distribution.params()["lam"] == pytest.approx(true.lam, rel=0.15)
+
+    def test_fits_paper_ms200_style_data(self, rng):
+        """Lognormal data is accepted by the lognormal family."""
+        true = LogNormalRuntime(mu=12.0275, sigma=1.3398, x0=6210.0)
+        data = true.sample(rng, 662)
+        fit = fit_distribution(data, "shifted_lognormal", shift_rule="min")
+        assert fit.accepted()
+        assert fit.distribution.params()["mu"] == pytest.approx(12.0275, rel=0.03)
+
+    def test_wrong_family_is_rejected(self, rng):
+        true = LogNormalRuntime(mu=12.0, sigma=1.3, x0=6000.0)
+        data = true.sample(rng, 662)
+        fit = fit_distribution(data, "truncated_gaussian")
+        assert not fit.accepted()
+
+    def test_explicit_shift_is_respected(self, rng):
+        data = ShiftedExponential(x0=500.0, lam=1e-3).sample(rng, 200)
+        fit = fit_distribution(data, "shifted_exponential", shift=0.0)
+        assert fit.distribution.params()["x0"] == 0.0
+        assert fit.shift_rule == "explicit"
+
+    def test_requires_two_observations(self):
+        with pytest.raises(ValueError):
+            fit_distribution([1.0], "shifted_exponential")
+
+    def test_fit_result_fields(self, rng):
+        data = ShiftedExponential(x0=0.0, lam=0.01).sample(rng, 300)
+        fit = fit_distribution(data, "shifted_exponential")
+        assert isinstance(fit, FitResult)
+        assert fit.n_observations == 300
+        assert 0.0 <= fit.statistic <= 1.0
+        assert 0.0 <= fit.p_value <= 1.0
+        assert math.isfinite(fit.aic)
+        assert math.isfinite(fit.log_likelihood)
+        assert "shifted_exponential" in fit.summary()
+        assert set(fit.params()) == {"x0", "lam"}
+
+
+class TestSelectBestFit:
+    def test_selects_lognormal_for_lognormal_data(self, rng):
+        data = LogNormalRuntime(mu=8.0, sigma=1.5, x0=0.0).sample(rng, 800)
+        best = select_best_fit(data)
+        assert best.family in {"shifted_lognormal", "shifted_gamma", "shifted_weibull"}
+        assert best.accepted()
+        # The lognormal must beat the clearly-wrong gaussian model.
+        gaussian = fit_distribution(data, "truncated_gaussian")
+        assert best.p_value > gaussian.p_value
+
+    def test_selects_exponential_like_family_for_exponential_data(self, rng):
+        data = ShiftedExponential(x0=0.0, lam=1e-3).sample(rng, 800)
+        best = select_best_fit(data)
+        assert best.family in {"shifted_exponential", "shifted_weibull", "shifted_gamma"}
+        assert best.accepted()
+
+    def test_candidate_restriction(self, rng):
+        data = ShiftedExponential(x0=0.0, lam=1.0).sample(rng, 200)
+        best = select_best_fit(data, candidates=["truncated_gaussian"])
+        assert best.family == "truncated_gaussian"
+
+    def test_unknown_candidate_raises(self):
+        with pytest.raises(KeyError):
+            select_best_fit([1.0, 2.0, 3.0], candidates=["unknown"])
+
+    def test_empty_candidates_raises(self):
+        with pytest.raises(ValueError):
+            select_best_fit([1.0, 2.0, 3.0], candidates=[])
+
+    def test_default_candidates_cover_paper_families(self):
+        assert "shifted_exponential" in DEFAULT_CANDIDATES
+        assert "shifted_lognormal" in DEFAULT_CANDIDATES
+        assert "truncated_gaussian" in DEFAULT_CANDIDATES

@@ -1,0 +1,98 @@
+"""Shift (x0) estimation rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting.shift import (
+    SHIFT_RULES,
+    estimate_shift,
+    shift_bias_corrected,
+    shift_min,
+    shift_quantile,
+    shift_zero_if_negligible,
+)
+
+
+class TestShiftMin:
+    def test_returns_minimum(self):
+        assert shift_min([5.0, 2.0, 9.0]) == 2.0
+
+    def test_rejects_empty_and_invalid(self):
+        with pytest.raises(ValueError):
+            shift_min([])
+        with pytest.raises(ValueError):
+            shift_min([1.0, -1.0])
+        with pytest.raises(ValueError):
+            shift_min([1.0, np.inf])
+
+
+class TestZeroIfNegligible:
+    def test_paper_costas_rule_snaps_to_zero(self):
+        """Costas 21: minimum 3.2e5 vs mean 1.8e8 -> shift treated as 0."""
+        data = np.concatenate([[3.2e5], np.full(99, 1.8e8)])
+        assert shift_zero_if_negligible(data) == 0.0
+
+    def test_keeps_minimum_when_not_negligible(self):
+        """AI 700-style data: minimum is a sizeable fraction of the mean."""
+        data = np.array([1217.0, 50_000.0, 110_000.0, 200_000.0])
+        assert shift_zero_if_negligible(data) == 1217.0
+
+    def test_threshold_is_configurable(self):
+        data = np.array([5.0, 100.0, 100.0, 100.0])
+        assert shift_zero_if_negligible(data, threshold=0.01) == 5.0
+        assert shift_zero_if_negligible(data, threshold=0.10) == 0.0
+
+
+class TestQuantileShift:
+    def test_quantile_above_minimum(self):
+        data = np.linspace(10.0, 1000.0, 200)
+        assert shift_quantile(data, 0.05) >= data.min()
+        assert shift_quantile(data, 0.0) == data.min()
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            shift_quantile([1.0, 2.0], q=1.0)
+
+
+class TestBiasCorrected:
+    def test_matches_first_order_correction_formula(self):
+        data = np.array([10.0, 20.0, 30.0, 60.0])
+        m, minimum, mean = 4, 10.0, 30.0
+        expected = (m * minimum - mean) / (m - 1)
+        assert shift_bias_corrected(data) == pytest.approx(expected)
+
+    def test_reduces_positive_bias_of_minimum_on_average(self, rng):
+        """Averaged over many samples, the corrected estimator is less biased than the min."""
+        true_shift = 500.0
+        raw_bias, corrected_bias = [], []
+        for _ in range(200):
+            data = true_shift + rng.exponential(1000.0, size=50)
+            raw_bias.append(data.min() - true_shift)
+            corrected_bias.append(shift_bias_corrected(data) - true_shift)
+        assert abs(np.mean(corrected_bias)) < abs(np.mean(raw_bias))
+        assert all(c < r for c, r in zip(corrected_bias, raw_bias))
+
+    def test_single_observation_returns_it(self):
+        assert shift_bias_corrected([42.0]) == 42.0
+
+    def test_never_negative(self):
+        data = np.array([1.0, 1000.0, 2000.0])
+        assert shift_bias_corrected(data) >= 0.0
+
+
+class TestEstimateShiftDispatch:
+    def test_all_registered_rules_run(self):
+        data = np.array([10.0, 20.0, 30.0, 40.0])
+        for rule in SHIFT_RULES:
+            value = estimate_shift(data, rule)
+            assert 0.0 <= value <= data.max()
+        # Rules other than the quantile one never exceed the observed minimum.
+        for rule in ("min", "zero_if_negligible", "bias_corrected", "zero"):
+            assert estimate_shift(data, rule) <= data.min()
+
+    def test_zero_rule(self):
+        assert estimate_shift([5.0, 6.0], "zero") == 0.0
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            estimate_shift([1.0, 2.0], "does-not-exist")

@@ -1,0 +1,124 @@
+"""Lévy and log-logistic families (the paper's rejected candidate and a fat-tail middle ground)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.distributions import LevyRuntime, LogLogisticRuntime, ShiftedExponential
+from repro.core.fitting import fit_distribution
+from repro.core.fitting.estimators import estimate_parameters
+
+
+class TestLevy:
+    def test_matches_scipy_levy(self):
+        ours = LevyRuntime(scale=3.0, x0=10.0)
+        reference = stats.levy(loc=10.0, scale=3.0)
+        grid = np.linspace(10.5, 200.0, 50)
+        np.testing.assert_allclose(ours.pdf(grid), reference.pdf(grid), rtol=1e-9)
+        np.testing.assert_allclose(ours.cdf(grid), reference.cdf(grid), rtol=1e-9)
+        assert ours.median() == pytest.approx(reference.median(), rel=1e-9)
+
+    def test_mean_is_infinite(self):
+        dist = LevyRuntime(scale=1.0)
+        assert math.isinf(dist.mean())
+        assert math.isinf(dist.variance())
+
+    def test_quantile_round_trip(self):
+        dist = LevyRuntime(scale=2.0, x0=5.0)
+        for q in (0.1, 0.5, 0.9):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_sampling_construction(self, rng):
+        dist = LevyRuntime(scale=4.0, x0=0.0)
+        draws = dist.sample(rng, 30000)
+        assert draws.min() >= 0.0
+        # Medians are robust even though the mean is infinite.
+        assert np.median(draws) == pytest.approx(dist.median(), rel=0.05)
+
+    def test_minimum_of_two_is_finite(self, rng):
+        """Parallelism tames the infinite mean: E[min of 2 Levy draws] < inf."""
+        dist = LevyRuntime(scale=1.0, x0=0.0)
+        assert math.isinf(dist.expected_minimum(1))
+        e2 = dist.expected_minimum(4)
+        assert math.isfinite(e2)
+        draws = dist.sample(rng, (40000, 4)).min(axis=1)
+        assert e2 == pytest.approx(np.mean(draws), rel=0.1)
+
+    def test_speedup_semantics(self):
+        dist = LevyRuntime(scale=1.0)
+        assert dist.speedup(1) == 1.0
+        assert math.isinf(dist.speedup(8))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LevyRuntime(scale=0.0)
+        with pytest.raises(ValueError):
+            LevyRuntime(scale=1.0, x0=-1.0)
+
+    def test_estimator_recovers_scale(self, rng):
+        true = LevyRuntime(scale=5.0, x0=0.0)
+        data = true.sample(rng, 4000)
+        fitted = estimate_parameters(data, "levy", x0=0.0)
+        assert isinstance(fitted, LevyRuntime)
+        assert fitted.scale == pytest.approx(5.0, rel=0.1)
+
+    def test_levy_rejected_for_exponential_data(self, rng):
+        """Reproduces the paper's negative result: Lévy does not fit AS-style runtimes."""
+        data = ShiftedExponential(x0=0.0, lam=1e-3).sample(rng, 600)
+        fit = fit_distribution(data, "levy", shift_rule="zero")
+        assert not fit.accepted()
+
+
+class TestLogLogistic:
+    def test_matches_scipy_fisk(self):
+        ours = LogLogisticRuntime(alpha=20.0, beta=3.0, x0=5.0)
+        reference = stats.fisk(c=3.0, scale=20.0, loc=5.0)
+        grid = np.linspace(5.5, 300.0, 60)
+        np.testing.assert_allclose(ours.pdf(grid), reference.pdf(grid), rtol=1e-9)
+        np.testing.assert_allclose(ours.cdf(grid), reference.cdf(grid), rtol=1e-9)
+        assert ours.mean() == pytest.approx(reference.mean(), rel=1e-9)
+
+    def test_median_is_shift_plus_alpha(self):
+        dist = LogLogisticRuntime(alpha=7.0, beta=2.0, x0=3.0)
+        assert dist.median() == pytest.approx(10.0)
+        assert dist.cdf(10.0) == pytest.approx(0.5)
+
+    def test_mean_infinite_for_small_beta(self):
+        assert math.isinf(LogLogisticRuntime(alpha=1.0, beta=0.9).mean())
+        assert math.isinf(LogLogisticRuntime(alpha=1.0, beta=1.5).variance())
+
+    def test_quantile_round_trip_and_sampling(self, rng):
+        dist = LogLogisticRuntime(alpha=50.0, beta=4.0, x0=10.0)
+        for q in (0.05, 0.5, 0.95):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-10)
+        draws = dist.sample(rng, 30000)
+        assert draws.min() > 10.0
+        assert np.median(draws) == pytest.approx(dist.median(), rel=0.03)
+
+    def test_expected_minimum_decreases(self):
+        dist = LogLogisticRuntime(alpha=100.0, beta=2.5, x0=0.0)
+        values = [dist.expected_minimum(n) for n in (1, 4, 16, 64)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_estimator_recovers_parameters(self, rng):
+        true = LogLogisticRuntime(alpha=30.0, beta=3.0, x0=0.0)
+        data = true.sample(rng, 5000)
+        fitted = estimate_parameters(data, "log_logistic", x0=0.0)
+        assert isinstance(fitted, LogLogisticRuntime)
+        assert fitted.alpha == pytest.approx(30.0, rel=0.1)
+        assert fitted.beta == pytest.approx(3.0, rel=0.15)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogLogisticRuntime(alpha=0.0, beta=1.0)
+        with pytest.raises(ValueError):
+            LogLogisticRuntime(alpha=1.0, beta=0.0)
+        with pytest.raises(ValueError):
+            LogLogisticRuntime(alpha=1.0, beta=1.0, x0=-1.0)
+
+    def test_good_fit_accepted_by_ks(self, rng):
+        data = LogLogisticRuntime(alpha=200.0, beta=2.0, x0=0.0).sample(rng, 500)
+        fit = fit_distribution(data, "log_logistic", shift_rule="zero")
+        assert fit.accepted()

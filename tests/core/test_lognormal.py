@@ -1,0 +1,105 @@
+"""Shifted lognormal distribution (Section 3.4)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.distributions import LogNormalRuntime
+
+
+class TestConstruction:
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormalRuntime(mu=1.0, sigma=0.0)
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ValueError):
+            LogNormalRuntime(mu=1.0, sigma=1.0, x0=-5.0)
+
+    def test_rejects_non_finite_mu(self):
+        with pytest.raises(ValueError):
+            LogNormalRuntime(mu=math.nan, sigma=1.0)
+
+    def test_support_starts_at_shift(self):
+        dist = LogNormalRuntime(mu=2.0, sigma=0.5, x0=30.0)
+        assert dist.support() == (30.0, math.inf)
+
+
+class TestAgainstScipy:
+    """Cross-check pdf/cdf/moments against scipy.stats.lognorm."""
+
+    @pytest.fixture
+    def params(self):
+        return dict(mu=5.0, sigma=1.0, x0=100.0)
+
+    def test_pdf_matches_scipy(self, params):
+        ours = LogNormalRuntime(**params)
+        reference = stats.lognorm(s=params["sigma"], scale=math.exp(params["mu"]), loc=params["x0"])
+        grid = np.linspace(101.0, 2000.0, 50)
+        np.testing.assert_allclose(ours.pdf(grid), reference.pdf(grid), rtol=1e-10)
+
+    def test_cdf_matches_scipy(self, params):
+        ours = LogNormalRuntime(**params)
+        reference = stats.lognorm(s=params["sigma"], scale=math.exp(params["mu"]), loc=params["x0"])
+        grid = np.linspace(90.0, 3000.0, 60)
+        np.testing.assert_allclose(ours.cdf(grid), reference.cdf(grid), atol=1e-12)
+
+    def test_mean_and_variance_match_scipy(self, params):
+        ours = LogNormalRuntime(**params)
+        reference = stats.lognorm(s=params["sigma"], scale=math.exp(params["mu"]), loc=params["x0"])
+        assert ours.mean() == pytest.approx(reference.mean())
+        assert ours.variance() == pytest.approx(reference.var())
+
+    def test_quantile_matches_scipy(self, params):
+        ours = LogNormalRuntime(**params)
+        reference = stats.lognorm(s=params["sigma"], scale=math.exp(params["mu"]), loc=params["x0"])
+        for q in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert ours.quantile(q) == pytest.approx(reference.ppf(q), rel=1e-9)
+
+
+class TestBehaviour:
+    def test_pdf_zero_at_or_below_shift(self):
+        dist = LogNormalRuntime(mu=1.0, sigma=1.0, x0=10.0)
+        assert dist.pdf(10.0) == 0.0
+        assert dist.pdf(5.0) == 0.0
+        assert dist.cdf(10.0) == 0.0
+
+    def test_median_is_shift_plus_exp_mu(self):
+        dist = LogNormalRuntime(mu=3.0, sigma=0.7, x0=20.0)
+        assert dist.median() == pytest.approx(20.0 + math.exp(3.0))
+
+    def test_sampling_statistics(self, rng):
+        dist = LogNormalRuntime(mu=2.0, sigma=0.5, x0=50.0)
+        draws = dist.sample(rng, 40000)
+        assert draws.min() > 50.0
+        assert np.mean(draws) == pytest.approx(dist.mean(), rel=0.03)
+        assert np.median(draws) == pytest.approx(dist.median(), rel=0.03)
+
+    def test_expected_minimum_decreases_with_cores(self):
+        dist = LogNormalRuntime(mu=5.0, sigma=1.0, x0=0.0)
+        values = [dist.expected_minimum(n) for n in (1, 2, 4, 16, 64, 256)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_expected_minimum_against_monte_carlo(self, rng):
+        dist = LogNormalRuntime(mu=5.0, sigma=1.0, x0=0.0)
+        n = 8
+        draws = dist.sample(rng, (20000, n)).min(axis=1)
+        assert dist.expected_minimum(n) == pytest.approx(np.mean(draws), rel=0.03)
+
+    def test_paper_figure5_speedup_magnitude(self):
+        """Figure 5: mu=5, sigma=1, x0=0 reaches a speed-up of ~25 at 256 cores."""
+        dist = LogNormalRuntime(mu=5.0, sigma=1.0, x0=0.0)
+        speedup_256 = dist.speedup(256)
+        assert 20.0 < speedup_256 < 32.0
+
+    def test_speedup_limit_finite_only_with_shift(self):
+        assert math.isinf(LogNormalRuntime(mu=5.0, sigma=1.0, x0=0.0).speedup_limit())
+        shifted = LogNormalRuntime(mu=5.0, sigma=1.0, x0=200.0)
+        assert shifted.speedup_limit() == pytest.approx(shifted.mean() / 200.0)
+
+    def test_log_pdf_consistent_with_pdf(self):
+        dist = LogNormalRuntime(mu=1.5, sigma=0.8, x0=5.0)
+        grid = np.linspace(6.0, 100.0, 25)
+        np.testing.assert_allclose(np.exp(dist.log_pdf(grid)), dist.pdf(grid), rtol=1e-10)

@@ -1,0 +1,93 @@
+"""MinDistribution: the multi-walk runtime distribution Z(n)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import LogNormalRuntime, ShiftedExponential, UniformRuntime
+from repro.core.minimum import MinDistribution
+
+
+class TestConstruction:
+    def test_rejects_non_integer_cores(self):
+        base = ShiftedExponential(x0=0.0, lam=1.0)
+        with pytest.raises(TypeError):
+            MinDistribution(base, 2.5)
+
+    def test_rejects_non_positive_cores(self):
+        base = ShiftedExponential(x0=0.0, lam=1.0)
+        with pytest.raises(ValueError):
+            MinDistribution(base, 0)
+
+    def test_params_include_base_and_cores(self):
+        base = ShiftedExponential(x0=3.0, lam=2.0)
+        dist = MinDistribution(base, 4)
+        params = dist.params()
+        assert params["n_cores"] == 4.0
+        assert params["base_x0"] == 3.0
+
+
+class TestFormulas:
+    def test_cdf_formula(self):
+        """F_Z(t) = 1 - (1 - F_Y(t))^n (Section 3.1)."""
+        base = LogNormalRuntime(mu=2.0, sigma=0.5, x0=0.0)
+        n = 5
+        dist = MinDistribution(base, n)
+        grid = np.linspace(0.1, 60.0, 40)
+        expected = 1.0 - (1.0 - np.asarray(base.cdf(grid))) ** n
+        np.testing.assert_allclose(dist.cdf(grid), expected, atol=1e-12)
+
+    def test_pdf_formula(self):
+        """f_Z(t) = n f_Y(t) (1 - F_Y(t))^(n-1)."""
+        base = LogNormalRuntime(mu=2.0, sigma=0.5, x0=0.0)
+        n = 3
+        dist = MinDistribution(base, n)
+        grid = np.linspace(0.1, 60.0, 40)
+        expected = n * np.asarray(base.pdf(grid)) * (1.0 - np.asarray(base.cdf(grid))) ** (n - 1)
+        np.testing.assert_allclose(dist.pdf(grid), expected, rtol=1e-10)
+
+    def test_n_equal_one_is_identity(self):
+        base = ShiftedExponential(x0=10.0, lam=0.1)
+        dist = MinDistribution(base, 1)
+        grid = np.linspace(0.0, 100.0, 30)
+        np.testing.assert_allclose(dist.cdf(grid), base.cdf(grid))
+        assert dist.mean() == pytest.approx(base.mean())
+
+    def test_pdf_integrates_to_one(self):
+        base = ShiftedExponential(x0=10.0, lam=0.05)
+        dist = MinDistribution(base, 7)
+        grid = np.linspace(10.0, 200.0, 40001)
+        assert np.trapezoid(dist.pdf(grid), grid) == pytest.approx(1.0, abs=1e-4)
+
+    def test_distribution_shifts_toward_origin(self):
+        """Section 3.1: the min distribution moves toward the origin and peaks."""
+        base = UniformRuntime(low=0.0, high=100.0)
+        means = [MinDistribution(base, n).mean() for n in (1, 10, 100)]
+        assert means[0] > means[1] > means[2]
+
+
+class TestComposition:
+    def test_min_of_min_composes_multiplicatively(self):
+        base = ShiftedExponential(x0=5.0, lam=0.01)
+        composed = base.min_of(4).min_of(8)
+        direct = base.min_of(32)
+        assert isinstance(composed, MinDistribution)
+        assert composed.n_cores == 32
+        assert composed.mean() == pytest.approx(direct.mean())
+
+    def test_quantile_round_trip(self):
+        base = LogNormalRuntime(mu=3.0, sigma=1.0, x0=0.0)
+        dist = MinDistribution(base, 16)
+        for q in (0.1, 0.5, 0.9):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, rel=1e-6)
+
+    def test_sampling_matches_expectation(self, rng):
+        base = ShiftedExponential(x0=100.0, lam=1e-2)
+        dist = MinDistribution(base, 8)
+        draws = dist.sample(rng, 20000)
+        assert np.mean(draws) == pytest.approx(dist.mean(), rel=0.02)
+        single = dist.sample(rng)
+        assert isinstance(single, float)
+
+    def test_support_matches_base(self):
+        base = UniformRuntime(low=2.0, high=9.0)
+        assert MinDistribution(base, 10).support() == (2.0, 9.0)

@@ -1,0 +1,159 @@
+"""Truncated gaussian, gamma, Weibull, Pareto and uniform families."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.distributions import (
+    GammaRuntime,
+    ParetoRuntime,
+    TruncatedGaussian,
+    UniformRuntime,
+    WeibullRuntime,
+)
+from repro.core.order_stats import expected_minimum
+
+
+class TestTruncatedGaussian:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussian(mu=0.0, sigma=0.0)
+        with pytest.raises(ValueError):
+            TruncatedGaussian(mu=0.0, sigma=1.0, lower=math.inf)
+
+    def test_rejects_truncation_removing_all_mass(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussian(mu=0.0, sigma=1.0, lower=100.0)
+
+    def test_matches_scipy_truncnorm(self):
+        mu, sigma, lower = 25.0, 10.0, 0.0
+        ours = TruncatedGaussian(mu=mu, sigma=sigma, lower=lower)
+        a = (lower - mu) / sigma
+        reference = stats.truncnorm(a=a, b=np.inf, loc=mu, scale=sigma)
+        grid = np.linspace(0.0, 60.0, 40)
+        np.testing.assert_allclose(ours.pdf(grid), reference.pdf(grid), rtol=1e-9)
+        np.testing.assert_allclose(ours.cdf(grid), reference.cdf(grid), atol=1e-12)
+        assert ours.mean() == pytest.approx(reference.mean())
+        assert ours.variance() == pytest.approx(reference.var())
+
+    def test_quantile_round_trip(self):
+        dist = TruncatedGaussian(mu=25.0, sigma=10.0, lower=0.0)
+        for q in (0.05, 0.5, 0.95):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_sampling_within_support(self, rng):
+        dist = TruncatedGaussian(mu=5.0, sigma=10.0, lower=0.0)
+        draws = dist.sample(rng, 5000)
+        assert draws.min() >= 0.0
+        assert np.mean(draws) == pytest.approx(dist.mean(), rel=0.05)
+
+
+class TestGamma:
+    def test_moments_match_scipy(self):
+        ours = GammaRuntime(shape=2.5, scale=30.0, x0=10.0)
+        reference = ours.to_scipy()
+        assert ours.mean() == pytest.approx(reference.mean())
+        assert ours.variance() == pytest.approx(reference.var())
+        grid = np.linspace(10.5, 500.0, 40)
+        np.testing.assert_allclose(ours.pdf(grid), reference.pdf(grid), rtol=1e-9)
+        np.testing.assert_allclose(ours.cdf(grid), reference.cdf(grid), rtol=1e-9)
+
+    def test_shape_one_reduces_to_exponential(self):
+        gamma = GammaRuntime(shape=1.0, scale=100.0, x0=0.0)
+        for n in (1, 4, 32):
+            assert gamma.expected_minimum(n) == pytest.approx(100.0 / n, rel=1e-6)
+
+    def test_quantile_round_trip(self):
+        dist = GammaRuntime(shape=3.0, scale=10.0, x0=5.0)
+        for q in (0.1, 0.5, 0.99):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GammaRuntime(shape=0.0, scale=1.0)
+        with pytest.raises(ValueError):
+            GammaRuntime(shape=1.0, scale=-1.0)
+        with pytest.raises(ValueError):
+            GammaRuntime(shape=1.0, scale=1.0, x0=-2.0)
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        weibull = WeibullRuntime(shape=1.0, scale=200.0, x0=50.0)
+        assert weibull.mean() == pytest.approx(250.0)
+        assert weibull.expected_minimum(10) == pytest.approx(50.0 + 200.0 / 10)
+
+    def test_closed_form_min_matches_numeric(self):
+        dist = WeibullRuntime(shape=0.7, scale=500.0, x0=0.0)
+        for n in (2, 16, 128):
+            assert dist.expected_minimum(n) == pytest.approx(expected_minimum(dist, n), rel=1e-6)
+
+    def test_heavy_tail_gives_superlinear_speedup(self):
+        dist = WeibullRuntime(shape=0.5, scale=100.0, x0=0.0)
+        assert dist.speedup(16) > 16.0
+
+    def test_cdf_and_quantile_round_trip(self):
+        dist = WeibullRuntime(shape=2.0, scale=50.0, x0=10.0)
+        for q in (0.2, 0.5, 0.9):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_moments_match_scipy(self):
+        dist = WeibullRuntime(shape=1.7, scale=80.0, x0=0.0)
+        reference = stats.weibull_min(c=1.7, scale=80.0)
+        assert dist.mean() == pytest.approx(reference.mean())
+        assert dist.variance() == pytest.approx(reference.var())
+
+
+class TestPareto:
+    def test_mean_infinite_for_small_alpha(self):
+        assert math.isinf(ParetoRuntime(x_m=1.0, alpha=0.9).mean())
+
+    def test_minimum_is_pareto_with_scaled_alpha(self):
+        dist = ParetoRuntime(x_m=10.0, alpha=1.5)
+        n = 4
+        expected = (n * 1.5) * 10.0 / (n * 1.5 - 1.0)
+        assert dist.expected_minimum(n) == pytest.approx(expected)
+        assert dist.expected_minimum(n) == pytest.approx(expected_minimum(dist, n), rel=1e-6)
+
+    def test_speedup_approaches_mean_over_xm_limit(self):
+        dist = ParetoRuntime(x_m=10.0, alpha=1.2)
+        # Limit of the speed-up is E[Y]/x_m = alpha/(alpha - 1).
+        assert dist.speedup_limit() == pytest.approx(1.2 / 0.2)
+        speedups = [dist.speedup(n) for n in (1, 2, 8, 64, 1024)]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] < dist.speedup_limit()
+
+    def test_cdf_quantile_and_sampling(self, rng):
+        dist = ParetoRuntime(x_m=5.0, alpha=3.0)
+        for q in (0.1, 0.5, 0.99):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-12)
+        draws = dist.sample(rng, 30000)
+        assert draws.min() >= 5.0
+        assert np.mean(draws) == pytest.approx(dist.mean(), rel=0.05)
+
+
+class TestUniform:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformRuntime(low=5.0, high=5.0)
+        with pytest.raises(ValueError):
+            UniformRuntime(low=-1.0, high=2.0)
+
+    def test_expected_minimum_closed_form(self):
+        dist = UniformRuntime(low=10.0, high=110.0)
+        assert dist.expected_minimum(1) == pytest.approx(60.0)
+        assert dist.expected_minimum(9) == pytest.approx(10.0 + 100.0 / 10.0)
+
+    def test_closed_form_matches_numeric_quadrature(self):
+        dist = UniformRuntime(low=0.0, high=50.0)
+        for n in (1, 3, 17, 100):
+            assert dist.expected_minimum(n) == pytest.approx(expected_minimum(dist, n), rel=1e-7)
+
+    def test_quantile_and_bounded_support(self):
+        dist = UniformRuntime(low=2.0, high=4.0)
+        assert dist.quantile(0.5) == pytest.approx(3.0)
+        assert dist.support() == (2.0, 4.0)
+        assert dist.cdf(5.0) == 1.0
+        assert dist.pdf(5.0) == 0.0

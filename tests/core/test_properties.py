@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on the core probabilistic invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distributions import (
+    EmpiricalDistribution,
+    GammaRuntime,
+    LogNormalRuntime,
+    ParetoRuntime,
+    ShiftedExponential,
+    TruncatedGaussian,
+    UniformRuntime,
+    WeibullRuntime,
+)
+from repro.core.fitting.ks import kolmogorov_pvalue, kolmogorov_smirnov_statistic
+from repro.core.minimum import MinDistribution
+from repro.core.speedup import SpeedupModel
+
+# Moderate parameter ranges keep the numerics well-conditioned while still
+# exploring several orders of magnitude.
+_shifts = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+_rates = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False, allow_infinity=False)
+_sigmas = st.floats(min_value=0.05, max_value=2.5, allow_nan=False, allow_infinity=False)
+_mus = st.floats(min_value=-2.0, max_value=12.0, allow_nan=False, allow_infinity=False)
+_shapes = st.floats(min_value=0.3, max_value=5.0, allow_nan=False, allow_infinity=False)
+_scales = st.floats(min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False)
+_cores = st.integers(min_value=1, max_value=512)
+
+
+@st.composite
+def runtime_distributions(draw):
+    """A random distribution drawn from every implemented family."""
+    family = draw(st.sampled_from(["exp", "lognormal", "gaussian", "gamma", "weibull", "pareto", "uniform"]))
+    if family == "exp":
+        return ShiftedExponential(x0=draw(_shifts), lam=draw(_rates))
+    if family == "lognormal":
+        return LogNormalRuntime(mu=draw(_mus), sigma=draw(_sigmas), x0=draw(_shifts))
+    if family == "gaussian":
+        return TruncatedGaussian(mu=draw(st.floats(min_value=-5.0, max_value=100.0)), sigma=draw(
+            st.floats(min_value=0.5, max_value=50.0)), lower=0.0)
+    if family == "gamma":
+        return GammaRuntime(shape=draw(_shapes), scale=draw(_scales), x0=draw(_shifts))
+    if family == "weibull":
+        return WeibullRuntime(shape=draw(_shapes), scale=draw(_scales), x0=draw(_shifts))
+    if family == "pareto":
+        return ParetoRuntime(x_m=draw(st.floats(min_value=0.1, max_value=100.0)), alpha=draw(
+            st.floats(min_value=1.1, max_value=6.0)))
+    low = draw(_shifts)
+    return UniformRuntime(low=low, high=low + draw(st.floats(min_value=0.5, max_value=1e4)))
+
+
+class TestDistributionInvariants:
+    @given(dist=runtime_distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_is_monotone_and_bounded(self, dist):
+        low, high = dist.support()
+        upper = high if math.isfinite(high) else dist.quantile(0.999)
+        grid = np.linspace(low, max(upper, low + 1.0), 64)
+        cdf = np.asarray(dist.cdf(grid), dtype=float)
+        assert np.all(cdf >= -1e-12) and np.all(cdf <= 1.0 + 1e-12)
+        assert np.all(np.diff(cdf) >= -1e-9)
+
+    @given(dist=runtime_distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_pdf_is_non_negative(self, dist):
+        low, _ = dist.support()
+        grid = np.linspace(max(low - 10.0, -5.0), dist.quantile(0.99) + 1.0, 64)
+        assert np.all(np.asarray(dist.pdf(grid), dtype=float) >= -1e-12)
+
+    @given(dist=runtime_distributions(), q=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_inverts_cdf(self, dist, q):
+        t = dist.quantile(q)
+        assert float(dist.cdf(t)) == pytest.approx(q, abs=5e-4)
+
+    @given(dist=runtime_distributions())
+    @settings(max_examples=40, deadline=None)
+    def test_mean_is_within_support(self, dist):
+        mean = dist.mean()
+        if not math.isfinite(mean):
+            return
+        low, high = dist.support()
+        assert mean >= low - 1e-9
+        if math.isfinite(high):
+            assert mean <= high + 1e-9
+
+
+class TestMinimumInvariants:
+    @given(dist=runtime_distributions(), n=_cores)
+    @settings(max_examples=60, deadline=None)
+    def test_expected_minimum_never_exceeds_mean(self, dist, n):
+        if not math.isfinite(dist.mean()):
+            return
+        expected_min = dist.expected_minimum(n)
+        assert expected_min <= dist.mean() + 1e-6 * max(abs(dist.mean()), 1.0)
+        assert expected_min >= dist.support()[0] - 1e-9
+
+    @given(dist=runtime_distributions())
+    @settings(max_examples=30, deadline=None)
+    def test_expected_minimum_monotone_in_cores(self, dist):
+        if not math.isfinite(dist.mean()):
+            return
+        values = [dist.expected_minimum(n) for n in (1, 2, 8, 64, 256)]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-6 * max(abs(a), 1.0)
+
+    @given(dist=runtime_distributions(), n=_cores)
+    @settings(max_examples=60, deadline=None)
+    def test_min_cdf_dominates_base_cdf(self, dist, n):
+        """Z(n) is stochastically smaller than Y: F_Z >= F_Y everywhere."""
+        min_dist = MinDistribution(dist, n)
+        grid = np.linspace(dist.support()[0], dist.quantile(0.99), 32)
+        assert np.all(np.asarray(min_dist.cdf(grid)) >= np.asarray(dist.cdf(grid)) - 1e-12)
+
+    @given(dist=runtime_distributions(), n=_cores)
+    @settings(max_examples=40, deadline=None)
+    def test_speedup_at_least_one_and_monotone(self, dist, n):
+        if not math.isfinite(dist.mean()):
+            return
+        model = SpeedupModel(dist)
+        g_n = model.speedup(n)
+        assert g_n >= 1.0 - 1e-9
+        assert model.speedup(2 * n) >= g_n - 1e-6 * max(g_n, 1.0)
+
+
+class TestEmpiricalInvariants:
+    @given(
+        data=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=60,
+        ),
+        n=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_empirical_expected_minimum_bounds(self, data, n):
+        dist = EmpiricalDistribution(data)
+        value = dist.expected_minimum(n)
+        assert min(data) - 1e-9 <= value <= max(data) + 1e-9
+        assert value <= dist.mean() + 1e-9
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_empirical_cdf_hits_zero_and_one(self, data):
+        dist = EmpiricalDistribution(data)
+        assert float(dist.cdf(min(data) - 1.0)) == 0.0
+        assert float(dist.cdf(max(data))) == 1.0
+
+
+class TestKSInvariants:
+    @given(
+        data=st.lists(
+            st.floats(min_value=0.001, max_value=0.999, allow_nan=False),
+            min_size=2,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_statistic_in_unit_interval(self, data):
+        statistic = kolmogorov_smirnov_statistic(np.array(data), lambda t: np.clip(t, 0.0, 1.0))
+        assert 0.0 <= statistic <= 1.0
+
+    @given(
+        statistic=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        m=st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pvalue_in_unit_interval(self, statistic, m):
+        p = kolmogorov_pvalue(statistic, m)
+        assert 0.0 <= p <= 1.0

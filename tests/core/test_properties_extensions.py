@@ -1,0 +1,141 @@
+"""Property-based tests for the extension modules (quorum, restarts, censoring, scaling laws)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.censoring import IncompleteRunModel, censored_exponential_fit, kaplan_meier
+from repro.core.distributions import LogNormalRuntime, ShiftedExponential
+from repro.core.quorum import QuorumSpeedupModel
+from repro.core.restarts import expected_runtime_with_cutoff, luby_sequence
+from repro.scaling.laws import fit_power_law
+
+_shifts = st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False)
+_rates = st.floats(min_value=1e-4, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+class TestQuorumProperties:
+    @given(
+        x0=_shifts,
+        lam=_rates,
+        n=st.integers(min_value=1, max_value=128),
+        k=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_kth_finisher_between_min_and_mean_scaled(self, x0, lam, n, k):
+        if k > n:
+            return
+        dist = ShiftedExponential(x0=x0, lam=lam)
+        model = QuorumSpeedupModel(dist, quorum=k)
+        value = model.expected_kth_finisher(n)
+        assert value >= dist.expected_minimum(n) - 1e-9
+        # The k-th smallest of n draws never exceeds the expected maximum,
+        # which for the exponential is x0 + H_n / lambda.
+        harmonic = sum(1.0 / i for i in range(1, n + 1))
+        assert value <= x0 + harmonic / lam + 1e-6
+
+    @given(x0=_shifts, lam=_rates, k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_kth_finisher_decreases_with_more_walks(self, x0, lam, k):
+        dist = ShiftedExponential(x0=x0, lam=lam)
+        model = QuorumSpeedupModel(dist, quorum=k)
+        values = [model.expected_kth_finisher(n) for n in (k, 2 * k, 8 * k, 32 * k)]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-9 * max(abs(a), 1.0)
+
+
+class TestRestartProperties:
+    @given(
+        mu=st.floats(min_value=0.0, max_value=8.0),
+        sigma=st.floats(min_value=0.2, max_value=2.0),
+        q=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_restart_runtime_is_positive_and_finite_inside_support(self, mu, sigma, q):
+        dist = LogNormalRuntime(mu=mu, sigma=sigma, x0=0.0)
+        cutoff = dist.quantile(q)
+        value = expected_runtime_with_cutoff(dist, cutoff)
+        assert value > 0.0
+        assert math.isfinite(value)
+        # Restarting at cutoff c can never finish faster than the conditional
+        # mean of runs below c, which is at least the support minimum.
+        assert value >= dist.support()[0]
+
+    @given(length=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=50, deadline=None)
+    def test_luby_terms_are_powers_of_two_and_bounded(self, length):
+        seq = luby_sequence(length)
+        assert seq.shape == (length,)
+        logs = np.log2(seq)
+        assert np.allclose(logs, np.round(logs))
+        assert seq.max() <= length  # the k-th term never exceeds k
+
+
+class TestCensoringProperties:
+    @given(
+        data=st.lists(
+            st.floats(min_value=0.1, max_value=1e5, allow_nan=False, allow_infinity=False),
+            min_size=3,
+            max_size=60,
+        ),
+        budget_quantile=st.floats(min_value=0.3, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_censored_fit_mean_at_least_naive_mean(self, data, budget_quantile):
+        values = np.asarray(data, dtype=float)
+        budget = float(np.quantile(values, budget_quantile))
+        flags = values > budget
+        capped = np.where(flags, budget, values)
+        if flags.all():
+            return
+        fit = censored_exponential_fit(capped, flags)
+        naive_mean = capped[~flags].mean()
+        # Censored exposure only adds runtime mass, never removes it.
+        assert fit.mean() >= naive_mean - 1e-6 * max(naive_mean, 1.0)
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kaplan_meier_is_a_decreasing_survival_function(self, data):
+        values = np.asarray(data, dtype=float)
+        flags = np.zeros(values.size, dtype=bool)
+        flags[::3] = True  # censor every third run
+        if flags.all() or (~flags).sum() == 0:
+            return
+        km = kaplan_meier(values, flags)
+        assert np.all(np.diff(km.survival) <= 1e-12)
+        assert np.all((km.survival >= -1e-12) & (km.survival <= 1.0 + 1e-12))
+
+    @given(
+        p=st.floats(min_value=0.001, max_value=0.999),
+        n=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_multiwalk_success_probability_bounds(self, p, n):
+        model = IncompleteRunModel(success_probability=p, mean_success_cost=1.0, budget=2.0)
+        prob = model.multiwalk_success_probability(n)
+        assert p - 1e-12 <= prob <= 1.0
+        assert model.multiwalk_success_probability(n + 1) >= prob - 1e-12
+
+
+class TestPowerLawProperties:
+    @given(
+        coefficient=st.floats(min_value=0.01, max_value=100.0),
+        exponent=st.floats(min_value=-2.0, max_value=4.0),
+        sizes=st.lists(st.integers(min_value=2, max_value=500), min_size=3, max_size=8, unique=True),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exact_laws_are_recovered(self, coefficient, exponent, sizes):
+        sizes = np.asarray(sorted(sizes), dtype=float)
+        values = coefficient * sizes**exponent
+        fit = fit_power_law(sizes, values)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+        assert fit.coefficient == pytest.approx(coefficient, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)

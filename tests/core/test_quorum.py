@@ -1,0 +1,74 @@
+"""Quorum (k-th finisher) speed-up model."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import LogNormalRuntime, ShiftedExponential, UniformRuntime
+from repro.core.quorum import QuorumSpeedupModel
+
+
+class TestQuorumExpectations:
+    def test_quorum_one_matches_min_model(self):
+        dist = LogNormalRuntime(mu=4.0, sigma=1.0, x0=0.0)
+        model = QuorumSpeedupModel(dist, quorum=1)
+        for n in (1, 8, 64):
+            assert model.expected_kth_finisher(n) == pytest.approx(dist.expected_minimum(n))
+
+    def test_exponential_renyi_closed_form(self):
+        """E[X_(k:n)] = x0 + (1/lambda) * (1/n + ... + 1/(n-k+1)) for exponentials."""
+        dist = ShiftedExponential(x0=50.0, lam=0.01)
+        model = QuorumSpeedupModel(dist, quorum=3)
+        n = 10
+        expected = 50.0 + (1 / 0.01) * (1 / 10 + 1 / 9 + 1 / 8)
+        assert model.expected_kth_finisher(n) == pytest.approx(expected, rel=1e-9)
+
+    def test_uniform_order_statistic(self):
+        """E[X_(k:n)] = k/(n+1) for Uniform(0, 1)."""
+        dist = UniformRuntime(low=0.0, high=1.0)
+        model = QuorumSpeedupModel(dist, quorum=2)
+        assert model.expected_kth_finisher(5) == pytest.approx(2.0 / 6.0, rel=1e-6)
+
+    def test_monte_carlo_agreement(self, rng):
+        dist = LogNormalRuntime(mu=3.0, sigma=1.0, x0=0.0)
+        model = QuorumSpeedupModel(dist, quorum=4)
+        n = 12
+        draws = np.sort(dist.sample(rng, (20000, n)), axis=1)[:, 3]
+        assert model.expected_kth_finisher(n) == pytest.approx(draws.mean(), rel=0.03)
+
+    def test_needs_at_least_quorum_walks(self):
+        model = QuorumSpeedupModel(ShiftedExponential(x0=0.0, lam=1.0), quorum=4)
+        with pytest.raises(ValueError):
+            model.expected_kth_finisher(3)
+
+    def test_quorum_validation(self):
+        with pytest.raises(ValueError):
+            QuorumSpeedupModel(ShiftedExponential(x0=0.0, lam=1.0), quorum=0)
+
+
+class TestQuorumSpeedups:
+    def test_exponential_quorum_speedup_still_scales(self):
+        dist = ShiftedExponential(x0=0.0, lam=1e-3)
+        model = QuorumSpeedupModel(dist, quorum=4)
+        curve = model.curve([4, 16, 64, 256])
+        speedups = list(curve.speedups)
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+        # Waiting for 4 finishers out of 4 walks is slower than sequential-per-solution
+        # only by the max/mean factor; with many more walks it approaches k*n-ish gains.
+        assert model.speedup(256) > model.speedup(4)
+
+    def test_larger_quorum_needs_more_cores_for_same_speedup(self):
+        dist = ShiftedExponential(x0=100.0, lam=1e-3)
+        single = QuorumSpeedupModel(dist, quorum=1).speedup(32)
+        quorum4 = QuorumSpeedupModel(dist, quorum=4).speedup(32)
+        assert quorum4 < single * 4  # sanity: not a free lunch
+
+    def test_overhead_vs_first_finisher(self):
+        dist = LogNormalRuntime(mu=4.0, sigma=1.2, x0=0.0)
+        model = QuorumSpeedupModel(dist, quorum=3)
+        overhead = model.overhead_vs_first_finisher(16)
+        assert overhead > 1.0
+
+    def test_curve_requires_core_counts(self):
+        model = QuorumSpeedupModel(ShiftedExponential(x0=0.0, lam=1.0), quorum=2)
+        with pytest.raises(ValueError):
+            model.curve([])

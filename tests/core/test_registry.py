@@ -1,0 +1,100 @@
+"""Distribution registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import ShiftedExponential, distribution_registry
+from repro.core.distributions.base import RuntimeDistribution
+from repro.core.distributions.registry import get_distribution_class, register_distribution
+
+
+class TestRegistryLookups:
+    def test_builtin_families_present(self):
+        for name in (
+            "shifted_exponential",
+            "shifted_lognormal",
+            "truncated_gaussian",
+            "shifted_gamma",
+            "shifted_weibull",
+            "pareto",
+            "uniform",
+        ):
+            assert name in distribution_registry
+
+    def test_get_class_round_trip(self):
+        assert get_distribution_class("shifted_exponential") is ShiftedExponential
+
+    def test_unknown_family_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="shifted_exponential"):
+            get_distribution_class("nope")
+
+    def test_names_match_classes(self):
+        for name, cls in distribution_registry.items():
+            assert cls.name == name
+
+
+class TestRegisterDistribution:
+    def test_register_custom_family(self):
+        class Constant(RuntimeDistribution):
+            name = "constant-for-test"
+
+            def __init__(self, value: float = 1.0) -> None:
+                self.value = value
+
+            def pdf(self, t):
+                return np.zeros_like(np.asarray(t, dtype=float))
+
+            def cdf(self, t):
+                return (np.asarray(t, dtype=float) >= self.value).astype(float)
+
+            def mean(self):
+                return self.value
+
+            def sample(self, rng, size=None):
+                return np.full(size if size is not None else (), self.value)
+
+            def params(self):
+                return {"value": self.value}
+
+        try:
+            register_distribution(Constant)
+            assert get_distribution_class("constant-for-test") is Constant
+        finally:
+            distribution_registry.pop("constant-for-test", None)
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(TypeError):
+            register_distribution(object)  # type: ignore[arg-type]
+
+    def test_rejects_missing_name(self):
+        class Nameless(RuntimeDistribution):
+            name = "abstract"
+
+            def pdf(self, t):  # pragma: no cover - never called
+                return t
+
+            def cdf(self, t):  # pragma: no cover
+                return t
+
+            def mean(self):  # pragma: no cover
+                return 0.0
+
+            def sample(self, rng, size=None):  # pragma: no cover
+                return 0.0
+
+            def params(self):  # pragma: no cover
+                return {}
+
+        with pytest.raises(ValueError):
+            register_distribution(Nameless)
+
+
+class TestDistributionEquality:
+    def test_equality_and_hash(self):
+        a = ShiftedExponential(x0=1.0, lam=2.0)
+        b = ShiftedExponential(x0=1.0, lam=2.0)
+        c = ShiftedExponential(x0=1.0, lam=3.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a distribution"

@@ -1,0 +1,124 @@
+"""Restart strategies: cutoff analysis, Luby sequence, restart-vs-multiwalk."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    LogNormalRuntime,
+    ParetoRuntime,
+    ShiftedExponential,
+    UniformRuntime,
+)
+from repro.core.restarts import (
+    expected_runtime_with_cutoff,
+    luby_sequence,
+    optimal_cutoff,
+    restart_vs_multiwalk,
+)
+
+
+class TestExpectedRuntimeWithCutoff:
+    def test_exponential_is_memoryless(self):
+        """For a (non-shifted) exponential, restarting never helps nor hurts."""
+        dist = ShiftedExponential(x0=0.0, lam=1e-2)
+        for cutoff in (10.0, 100.0, 1000.0):
+            assert expected_runtime_with_cutoff(dist, cutoff) == pytest.approx(
+                dist.mean(), rel=1e-6
+            )
+
+    def test_large_cutoff_recovers_plain_mean(self):
+        dist = LogNormalRuntime(mu=3.0, sigma=0.8, x0=0.0)
+        value = expected_runtime_with_cutoff(dist, dist.quantile(1 - 1e-9))
+        assert value == pytest.approx(dist.mean(), rel=1e-3)
+
+    def test_cutoff_below_support_is_useless(self):
+        dist = ShiftedExponential(x0=100.0, lam=1e-2)
+        assert math.isinf(expected_runtime_with_cutoff(dist, 50.0))
+
+    def test_monte_carlo_agreement(self, rng):
+        dist = LogNormalRuntime(mu=4.0, sigma=1.5, x0=0.0)
+        cutoff = float(dist.quantile(0.6))
+        # Simulate restart-until-success.
+        totals = []
+        for _ in range(4000):
+            total = 0.0
+            while True:
+                draw = float(dist.sample(rng))
+                if draw <= cutoff:
+                    total += draw
+                    break
+                total += cutoff
+            totals.append(total)
+        assert expected_runtime_with_cutoff(dist, cutoff) == pytest.approx(
+            np.mean(totals), rel=0.05
+        )
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            expected_runtime_with_cutoff(ShiftedExponential(x0=0.0, lam=1.0), 0.0)
+
+
+class TestOptimalCutoff:
+    def test_heavy_tail_benefits_from_restarts(self):
+        """Pareto with infinite mean: restarting makes the expectation finite."""
+        dist = ParetoRuntime(x_m=1.0, alpha=0.8)
+        cutoff, value = optimal_cutoff(dist)
+        assert math.isfinite(value)
+        assert value < 1e6
+        assert cutoff > dist.x_m
+
+    def test_light_tail_prefers_no_restart(self):
+        dist = UniformRuntime(low=0.0, high=100.0)
+        _cutoff, value = optimal_cutoff(dist)
+        # Never-restart expectation is the mean; restarting cannot beat it by much,
+        # and the optimiser must not report anything *worse* than the mean.
+        assert value <= dist.mean() * 1.01
+
+    def test_lognormal_restart_gain(self):
+        """High-variance lognormal: the optimal cutoff clearly beats the mean."""
+        dist = LogNormalRuntime(mu=5.0, sigma=2.0, x0=0.0)
+        cutoff, value = optimal_cutoff(dist)
+        assert value < 0.8 * dist.mean()
+        assert cutoff < dist.mean()
+
+
+class TestLubySequence:
+    def test_prefix_matches_reference(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        np.testing.assert_array_equal(luby_sequence(15), expected)
+
+    def test_unit_scaling(self):
+        np.testing.assert_array_equal(luby_sequence(3, unit=100.0), [100.0, 100.0, 200.0])
+
+    def test_powers_of_two_only(self):
+        values = luby_sequence(200)
+        assert set(np.unique(values)).issubset({1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            luby_sequence(0)
+        with pytest.raises(ValueError):
+            luby_sequence(5, unit=0.0)
+
+
+class TestRestartVsMultiwalk:
+    def test_exponential_multiwalk_and_combination(self):
+        dist = ShiftedExponential(x0=0.0, lam=1e-3)
+        analysis = restart_vs_multiwalk(dist, 16)
+        # Memoryless: restarts give no gain, multi-walk gives exactly 16.
+        assert analysis.restart_gain == pytest.approx(1.0, rel=1e-3)
+        assert analysis.multiwalk_gain == pytest.approx(16.0, rel=1e-6)
+        assert analysis.best_strategy() in {"multiwalk", "restart+multiwalk"}
+
+    def test_heavy_tail_prefers_combination(self):
+        dist = LogNormalRuntime(mu=5.0, sigma=2.5, x0=0.0)
+        analysis = restart_vs_multiwalk(dist, 8)
+        assert analysis.combined_gain > analysis.multiwalk_gain
+        assert analysis.combined_gain > analysis.restart_gain
+        assert analysis.best_strategy() == "restart+multiwalk"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            restart_vs_multiwalk(ShiftedExponential(x0=0.0, lam=1.0), 0)

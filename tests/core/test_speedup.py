@@ -1,0 +1,107 @@
+"""SpeedupModel and SpeedupCurve."""
+
+import math
+
+import pytest
+
+from repro.core.distributions import (
+    EmpiricalDistribution,
+    LogNormalRuntime,
+    ShiftedExponential,
+)
+from repro.core.speedup import SpeedupCurve, SpeedupModel
+
+
+@pytest.fixture
+def exponential_model():
+    return SpeedupModel(ShiftedExponential(x0=100.0, lam=1e-3))
+
+
+class TestSpeedupCurve:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedupCurve(cores=(1, 2), speedups=(1.0,), expected_runtimes=(1.0, 2.0))
+
+    def test_as_dict_and_iteration(self):
+        curve = SpeedupCurve(cores=(1, 2), speedups=(1.0, 1.8), expected_runtimes=(10.0, 5.5))
+        assert curve.as_dict() == {1: 1.0, 2: 1.8}
+        assert list(curve) == [(1, 1.0), (2, 1.8)]
+        assert len(curve) == 2
+
+    def test_efficiency(self):
+        curve = SpeedupCurve(cores=(2, 4), speedups=(1.6, 2.4), expected_runtimes=(1.0, 1.0))
+        assert curve.efficiency() == pytest.approx((0.8, 0.6))
+
+
+class TestSpeedupModel:
+    def test_speedup_at_one_core_is_one(self, exponential_model):
+        assert exponential_model.speedup(1) == pytest.approx(1.0)
+
+    def test_paper_figure3_values(self, exponential_model):
+        """x0=100, lambda=1/1000: limit 11, G_256 close to (but below) it."""
+        assert exponential_model.limit() == pytest.approx(11.0)
+        g256 = exponential_model.speedup(256)
+        assert 10.0 < g256 < 11.0
+
+    def test_curve_monotone_increasing(self, exponential_model):
+        curve = exponential_model.curve([1, 2, 4, 8, 16, 32, 64, 128, 256])
+        speedups = list(curve.speedups)
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_curve_rejects_empty_or_bad_cores(self, exponential_model):
+        with pytest.raises(ValueError):
+            exponential_model.curve([])
+        with pytest.raises(ValueError):
+            exponential_model.curve([0, 4])
+        with pytest.raises(ValueError):
+            exponential_model.speedup(0)
+
+    def test_tangent_at_origin_exponential(self, exponential_model):
+        assert exponential_model.tangent_at_origin() == pytest.approx(1.1)
+
+    def test_tangent_at_origin_generic_family(self):
+        model = SpeedupModel(LogNormalRuntime(mu=5.0, sigma=1.0, x0=0.0))
+        assert model.tangent_at_origin() == pytest.approx(model.speedup(2) - 1.0)
+
+    def test_cores_for_target_speedup(self, exponential_model):
+        needed = exponential_model.cores_for_target_speedup(5.0)
+        assert exponential_model.speedup(needed) >= 5.0
+        assert exponential_model.speedup(needed - 1) < 5.0
+
+    def test_cores_for_target_above_limit_returns_none(self, exponential_model):
+        assert exponential_model.cores_for_target_speedup(12.0) is None
+
+    def test_cores_for_trivial_target(self, exponential_model):
+        assert exponential_model.cores_for_target_speedup(1.0) == 1
+
+    def test_linear_scaling_never_saturates(self):
+        model = SpeedupModel(ShiftedExponential(x0=0.0, lam=1.0))
+        assert model.saturation_cores(0.5, max_cores=1024) is None
+        assert model.cores_for_target_speedup(100.0) == 100
+
+    def test_saturation_cores_exponential(self, exponential_model):
+        cores = exponential_model.saturation_cores(efficiency_threshold=0.5)
+        assert cores is not None
+        assert exponential_model.efficiency(cores) >= 0.5
+        assert exponential_model.efficiency(cores + 1) < 0.5
+
+    def test_saturation_rejects_bad_threshold(self, exponential_model):
+        with pytest.raises(ValueError):
+            exponential_model.saturation_cores(0.0)
+        with pytest.raises(ValueError):
+            exponential_model.saturation_cores(1.5)
+
+    def test_runtime_quantiles_decrease_with_cores(self, exponential_model):
+        q_1 = exponential_model.runtime_quantiles(1, [0.5])[0]
+        q_64 = exponential_model.runtime_quantiles(64, [0.5])[0]
+        assert q_64 < q_1
+
+    def test_works_with_empirical_distribution(self):
+        model = SpeedupModel(EmpiricalDistribution([10.0, 20.0, 40.0, 400.0]))
+        assert model.speedup(1) == pytest.approx(1.0)
+        assert model.speedup(50) > 5.0
+        assert model.limit() == pytest.approx(117.5 / 10.0)
+
+    def test_expected_parallel_matches_distribution(self, exponential_model):
+        assert exponential_model.expected_parallel(16) == pytest.approx(100.0 + 1000.0 / 16)
+        assert exponential_model.expected_sequential() == pytest.approx(1100.0)

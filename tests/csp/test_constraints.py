@@ -1,0 +1,78 @@
+"""Constraint error functions."""
+
+import pytest
+
+from repro.csp.constraints import (
+    AllDifferentConstraint,
+    FunctionalAllDifferentConstraint,
+    LinearSumConstraint,
+)
+
+
+class TestAllDifferent:
+    def test_zero_error_when_all_distinct(self):
+        constraint = AllDifferentConstraint(["a", "b", "c"])
+        assert constraint.error({"a": 1, "b": 2, "c": 3}) == 0.0
+        assert constraint.is_satisfied({"a": 1, "b": 2, "c": 3})
+
+    def test_error_counts_duplicates(self):
+        constraint = AllDifferentConstraint(["a", "b", "c", "d"])
+        assert constraint.error({"a": 1, "b": 1, "c": 1, "d": 2}) == 2.0
+        assert constraint.error({"a": 1, "b": 1, "c": 2, "d": 2}) == 2.0
+
+    def test_rejects_degenerate_variable_lists(self):
+        with pytest.raises(ValueError):
+            AllDifferentConstraint(["a"])
+        with pytest.raises(ValueError):
+            AllDifferentConstraint(["a", "a"])
+
+    def test_variable_names_exposed(self):
+        constraint = AllDifferentConstraint(["a", "b"])
+        assert constraint.variable_names == ("a", "b")
+
+
+class TestLinearSum:
+    def test_error_is_absolute_deviation(self):
+        constraint = LinearSumConstraint(["a", "b"], target=10.0)
+        assert constraint.error({"a": 4, "b": 6}) == 0.0
+        assert constraint.error({"a": 4, "b": 2}) == 4.0
+        assert constraint.error({"a": 10, "b": 6}) == 6.0
+
+    def test_coefficients(self):
+        constraint = LinearSumConstraint(["a", "b"], target=0.0, coefficients=[1.0, -1.0])
+        assert constraint.error({"a": 5, "b": 5}) == 0.0
+        assert constraint.error({"a": 7, "b": 5}) == 2.0
+
+    def test_rejects_mismatched_coefficients(self):
+        with pytest.raises(ValueError):
+            LinearSumConstraint(["a", "b"], 1.0, coefficients=[1.0])
+        with pytest.raises(ValueError):
+            LinearSumConstraint([], 1.0)
+
+
+class TestFunctionalAllDifferent:
+    def test_derived_terms_error(self):
+        """ALL-INTERVAL-style constraint on consecutive differences."""
+        names = ["x0", "x1", "x2", "x3"]
+        constraint = FunctionalAllDifferentConstraint(
+            names,
+            lambda a: [abs(a[names[i]] - a[names[i + 1]]) for i in range(3)],
+        )
+        # Solution-like assignment: differences 3, 2, 1 all distinct.
+        assert constraint.error({"x0": 0, "x1": 3, "x2": 1, "x3": 2}) == 0.0
+        # Differences 1, 1, 1: two duplicates.
+        assert constraint.error({"x0": 0, "x1": 1, "x2": 2, "x3": 3}) == 2.0
+
+    def test_rejects_empty_variable_list(self):
+        with pytest.raises(ValueError):
+            FunctionalAllDifferentConstraint([], lambda a: [])
+
+    def test_weight_scales_in_csp_cost(self):
+        from repro.csp.model import CSP, Variable
+
+        names = ["a", "b"]
+        constraint = FunctionalAllDifferentConstraint(
+            names, lambda s: [s["a"] % 2, s["b"] % 2], weight=3.0
+        )
+        csp = CSP([Variable(n, (0, 1, 2, 3)) for n in names], [constraint])
+        assert csp.cost({"a": 2, "b": 0}) == pytest.approx(3.0)

@@ -1,0 +1,89 @@
+"""General CSP model: variables, constraints, error projection."""
+
+import numpy as np
+import pytest
+
+from repro.csp.constraints import AllDifferentConstraint, LinearSumConstraint
+from repro.csp.model import CSP, Variable
+
+
+@pytest.fixture
+def simple_csp():
+    variables = [Variable(f"x{i}", (1, 2, 3)) for i in range(3)]
+    constraints = [
+        AllDifferentConstraint(["x0", "x1", "x2"]),
+        LinearSumConstraint(["x0", "x1", "x2"], target=6.0),
+    ]
+    return CSP(variables, constraints)
+
+
+class TestVariable:
+    def test_rejects_empty_name_or_domain(self):
+        with pytest.raises(ValueError):
+            Variable("", (1,))
+        with pytest.raises(ValueError):
+            Variable("x", ())
+        with pytest.raises(ValueError):
+            Variable("x", (1, 1))
+
+
+class TestCSPConstruction:
+    def test_rejects_duplicate_variable_names(self):
+        with pytest.raises(ValueError):
+            CSP([Variable("x", (1,)), Variable("x", (2,))], [])
+
+    def test_rejects_unknown_constraint_variables(self):
+        with pytest.raises(ValueError):
+            CSP([Variable("x", (1, 2))], [LinearSumConstraint(["y"], 1.0)])
+
+    def test_rejects_no_variables(self):
+        with pytest.raises(ValueError):
+            CSP([], [])
+
+    def test_variable_index_and_constraints_on(self, simple_csp):
+        assert simple_csp.variable_index("x1") == 1
+        assert len(simple_csp.constraints_on("x0")) == 2
+
+
+class TestCostAndErrors:
+    def test_solution_has_zero_cost(self, simple_csp):
+        assignment = {"x0": 1, "x1": 2, "x2": 3}
+        assert simple_csp.cost(assignment) == 0.0
+        assert simple_csp.is_solution(assignment)
+
+    def test_violations_add_up(self, simple_csp):
+        assignment = {"x0": 1, "x1": 1, "x2": 1}
+        # all-different error: 2 duplicates; sum error: |3 - 6| = 3.
+        assert simple_csp.cost(assignment) == pytest.approx(5.0)
+        assert not simple_csp.is_solution(assignment)
+
+    def test_constraint_errors_vector(self, simple_csp):
+        errors = simple_csp.constraint_errors({"x0": 1, "x1": 1, "x2": 1})
+        np.testing.assert_allclose(errors, [2.0, 3.0])
+
+    def test_variable_errors_projection(self, simple_csp):
+        errors = simple_csp.variable_errors({"x0": 1, "x1": 1, "x2": 4})
+        # all-different error 1 (x0=x1), sum error |6-6|=0.
+        assert errors["x0"] == pytest.approx(1.0)
+        assert errors["x1"] == pytest.approx(1.0)
+        assert errors["x2"] == pytest.approx(1.0)  # alldiff involves every variable
+
+    def test_weighted_constraints(self):
+        variables = [Variable("a", (0, 1)), Variable("b", (0, 1))]
+        heavy = LinearSumConstraint(["a", "b"], target=2.0, weight=10.0)
+        csp = CSP(variables, [heavy])
+        assert csp.cost({"a": 0, "b": 0}) == pytest.approx(20.0)
+
+    def test_missing_variable_raises(self, simple_csp):
+        with pytest.raises(KeyError):
+            simple_csp.cost({"x0": 1})
+
+    def test_domain_violation_is_not_a_solution(self):
+        csp = CSP([Variable("x", (1, 2))], [])
+        assert not csp.is_solution({"x": 5})
+
+    def test_random_assignment_respects_domains(self, simple_csp, rng):
+        for _ in range(10):
+            assignment = simple_csp.random_assignment(rng)
+            assert set(assignment) == {"x0", "x1", "x2"}
+            assert all(v in (1, 2, 3) for v in assignment.values())

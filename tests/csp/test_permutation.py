@@ -1,0 +1,92 @@
+"""PermutationProblem interface and the general-CSP adapter."""
+
+import numpy as np
+import pytest
+
+from repro.csp.permutation import CSPPermutationAdapter, PermutationProblem
+from repro.csp.problems import AllIntervalProblem, NQueensProblem
+
+
+class TestSwapCosts:
+    def test_swap_costs_match_explicit_recomputation(self):
+        problem = NQueensProblem(6)
+        rng = np.random.default_rng(0)
+        perm = problem.random_configuration(rng)
+        index = 2
+        costs = problem.swap_costs(perm, index)
+        for j in range(problem.size):
+            swapped = perm.copy()
+            swapped[index], swapped[j] = swapped[j], swapped[index]
+            assert costs[j] == pytest.approx(problem.cost(swapped))
+
+    def test_swap_cost_at_own_index_is_current_cost(self):
+        problem = AllIntervalProblem(8)
+        rng = np.random.default_rng(1)
+        perm = problem.random_configuration(rng)
+        costs = problem.swap_costs(perm, 3)
+        assert costs[3] == pytest.approx(problem.cost(perm))
+
+    def test_swap_costs_rejects_bad_index(self):
+        problem = AllIntervalProblem(6)
+        perm = problem.random_configuration(np.random.default_rng(2))
+        with pytest.raises(IndexError):
+            problem.swap_costs(perm, 17)
+
+
+class TestRandomConfiguration:
+    def test_random_configuration_is_permutation(self):
+        problem = AllIntervalProblem(9)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            perm = problem.random_configuration(rng)
+            assert problem.check_permutation(perm)
+
+    def test_check_permutation_detects_corruption(self):
+        problem = AllIntervalProblem(5)
+        assert not problem.check_permutation(np.array([0, 0, 1, 2, 3]))
+        assert not problem.check_permutation(np.array([0, 1, 2]))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            NQueensProblem(2)
+
+
+class TestDescribeAndCost:
+    def test_describe_contains_name_and_size(self):
+        assert "all-interval" in AllIntervalProblem(7).describe()
+        assert "7" in AllIntervalProblem(7).describe()
+
+    def test_cost_many_shape_validation(self):
+        problem = AllIntervalProblem(6)
+        with pytest.raises(ValueError):
+            problem.cost_many(np.zeros((2, 5), dtype=np.int64))
+
+
+class TestCSPAdapter:
+    def test_adapter_matches_direct_implementation(self):
+        """The general-CSP model of ALL-INTERVAL agrees with the fast implementation
+        on solution membership (the error scales differ by construction)."""
+        direct = AllIntervalProblem(6)
+        adapter = CSPPermutationAdapter(direct.to_csp(), values=np.arange(6))
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            perm = direct.random_configuration(rng)
+            assert (direct.cost(perm) == 0.0) == (adapter.cost(perm) == 0.0)
+
+    def test_adapter_variable_errors_flag_conflicts(self):
+        direct = AllIntervalProblem(6)
+        adapter = CSPPermutationAdapter(direct.to_csp(), values=np.arange(6))
+        perm = np.array([0, 1, 2, 3, 4, 5])  # all differences equal: maximal conflict
+        errors = adapter.variable_errors(perm)
+        assert errors.shape == (6,)
+        assert errors.max() > 0.0
+
+    def test_adapter_solves_with_reference_solution(self):
+        direct = AllIntervalProblem(8)
+        adapter = CSPPermutationAdapter(direct.to_csp(), values=np.arange(8))
+        solution = AllIntervalProblem.reference_solution(8)
+        assert adapter.is_solution(solution)
+
+    def test_adapter_is_a_permutation_problem(self):
+        adapter = CSPPermutationAdapter(AllIntervalProblem(5).to_csp(), values=np.arange(5))
+        assert isinstance(adapter, PermutationProblem)

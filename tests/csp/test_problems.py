@@ -1,0 +1,187 @@
+"""Benchmark problems: ALL-INTERVAL, MAGIC-SQUARE, COSTAS, N-Queens, Langford."""
+
+import numpy as np
+import pytest
+
+from repro.csp.problems import (
+    AllIntervalProblem,
+    CostasArrayProblem,
+    LangfordProblem,
+    MagicSquareProblem,
+    NQueensProblem,
+)
+
+
+class TestAllInterval:
+    def test_paper_example_n8_is_solution(self):
+        """(3, 6, 0, 7, 2, 4, 5, 1) is the solution printed in Section 5.1."""
+        problem = AllIntervalProblem(8)
+        assert problem.is_solution(np.array([3, 6, 0, 7, 2, 4, 5, 1]))
+
+    def test_reference_solution_valid_for_many_sizes(self):
+        for n in (3, 5, 8, 12, 20):
+            problem = AllIntervalProblem(n)
+            assert problem.is_solution(AllIntervalProblem.reference_solution(n))
+
+    def test_identity_permutation_is_maximally_conflicting(self):
+        problem = AllIntervalProblem(10)
+        perm = np.arange(10)
+        # All differences equal 1: only one distinct value out of n-1 required.
+        assert problem.cost(perm) == pytest.approx(10 - 2)
+
+    def test_variable_errors_zero_exactly_on_solutions(self):
+        problem = AllIntervalProblem(8)
+        solution = AllIntervalProblem.reference_solution(8)
+        assert problem.variable_errors(solution).sum() == 0.0
+        bad = np.arange(8)
+        assert problem.variable_errors(bad).sum() > 0.0
+
+    def test_interval_vector(self):
+        problem = AllIntervalProblem(4)
+        np.testing.assert_array_equal(problem.interval_vector([0, 3, 1, 2]), [3, 2, 1])
+
+    def test_rejects_tiny_instances(self):
+        with pytest.raises(ValueError):
+            AllIntervalProblem(2)
+
+
+class TestMagicSquare:
+    def test_duerer_square_is_solution(self):
+        """Albrecht Duerer's Melencolia square from Section 5.2."""
+        problem = MagicSquareProblem(4)
+        duerer = np.array([16, 3, 2, 13, 5, 10, 11, 8, 9, 6, 7, 12, 4, 15, 14, 1])
+        assert problem.is_solution(duerer)
+        assert problem.cost(duerer) == 0.0
+
+    def test_siamese_reference_solution(self):
+        for n in (3, 5, 7):
+            problem = MagicSquareProblem(n)
+            assert problem.is_solution(MagicSquareProblem.reference_solution(n))
+
+    def test_magic_constant(self):
+        assert MagicSquareProblem(4).magic_constant == 34
+        assert MagicSquareProblem(200).magic_constant == 200 * (200 * 200 + 1) // 2
+
+    def test_cost_counts_all_line_violations(self):
+        problem = MagicSquareProblem(3)
+        perm = np.arange(1, 10)  # rows 6, 15, 24 vs magic constant 15
+        grid_cost = abs(6 - 15) + abs(15 - 15) + abs(24 - 15)  # rows
+        col_cost = 3 * abs(12 - 15) + 0  # columns sums are 12, 15, 18
+        col_cost = abs(12 - 15) + abs(15 - 15) + abs(18 - 15)
+        diag_cost = abs((1 + 5 + 9) - 15) + abs((3 + 5 + 7) - 15)
+        assert problem.cost(perm) == pytest.approx(grid_cost + col_cost + diag_cost)
+
+    def test_variable_errors_vanish_on_solution(self):
+        problem = MagicSquareProblem(5)
+        solution = MagicSquareProblem.reference_solution(5)
+        assert problem.variable_errors(solution).sum() == 0.0
+
+    def test_as_grid_round_trip(self):
+        problem = MagicSquareProblem(3)
+        perm = MagicSquareProblem.reference_solution(3)
+        grid = problem.as_grid(perm)
+        assert grid.shape == (3, 3)
+        np.testing.assert_array_equal(grid.reshape(-1), perm)
+
+    def test_csp_model_agrees_on_solutions(self):
+        problem = MagicSquareProblem(3)
+        csp = problem.to_csp()
+        solution = MagicSquareProblem.reference_solution(3)
+        assignment = {f"c{i // 3}_{i % 3}": int(v) for i, v in enumerate(solution)}
+        assert csp.is_solution(assignment)
+        assert csp.cost(assignment) == 0.0
+
+    def test_reference_solution_rejects_even_orders(self):
+        with pytest.raises(ValueError):
+            MagicSquareProblem.reference_solution(4)
+
+
+class TestCostasArray:
+    def test_paper_example_size5(self):
+        """[3, 4, 2, 1, 5] is the Costas array drawn in Section 5.3."""
+        problem = CostasArrayProblem(5)
+        assert problem.is_solution(np.array([3, 4, 2, 1, 5]))
+
+    def test_welch_construction_is_valid(self):
+        # p = 11, primitive root 2 -> Costas array of order 10.
+        problem = CostasArrayProblem(10)
+        welch = CostasArrayProblem.welch_construction(11, 2)
+        assert problem.check_permutation(welch)
+        assert problem.is_solution(welch)
+
+    def test_duplicate_vectors_are_counted(self):
+        problem = CostasArrayProblem(4)
+        perm = np.array([1, 2, 3, 4])  # arithmetic progression: many equal vectors
+        assert problem.cost(perm) > 0.0
+
+    def test_variable_errors_flag_involved_columns(self):
+        problem = CostasArrayProblem(5)
+        perm = np.array([1, 2, 3, 4, 5])
+        errors = problem.variable_errors(perm)
+        assert errors.shape == (5,)
+        assert errors.sum() > 0.0
+        solution = np.array([3, 4, 2, 1, 5])
+        assert problem.variable_errors(solution).sum() == 0.0
+
+    def test_displacement_table_contents(self):
+        problem = CostasArrayProblem(4)
+        table = problem.displacement_table(np.array([2, 1, 4, 3]))
+        np.testing.assert_array_equal(table[1], [-1, 3, -1])
+        np.testing.assert_array_equal(table[3], [1])
+
+    def test_csp_model_agrees(self):
+        problem = CostasArrayProblem(5)
+        csp = problem.to_csp()
+        solution = {f"v{i}": v for i, v in enumerate([3, 4, 2, 1, 5])}
+        assert csp.is_solution(solution)
+
+
+class TestNQueens:
+    def test_known_solution(self):
+        problem = NQueensProblem(8)
+        solution = np.array([0, 4, 7, 5, 2, 6, 1, 3])
+        assert problem.is_solution(solution)
+
+    def test_all_queens_on_diagonal_is_worst_case(self):
+        problem = NQueensProblem(6)
+        assert problem.cost(np.arange(6)) == pytest.approx(5.0)  # one shared anti-diagonal? no: main diagonal
+
+    def test_variable_errors_count_conflicting_columns(self):
+        problem = NQueensProblem(5)
+        errors = problem.variable_errors(np.arange(5))
+        assert np.all(errors > 0)
+
+    def test_rejects_unsolvable_sizes(self):
+        with pytest.raises(ValueError):
+            NQueensProblem(3)
+
+
+class TestLangford:
+    def test_reference_solutions(self):
+        for n in (3, 4):
+            problem = LangfordProblem(n)
+            assert problem.is_solution(LangfordProblem.reference_solution(n))
+
+    def test_multiset_values(self):
+        problem = LangfordProblem(3)
+        np.testing.assert_array_equal(np.sort(problem.values), [1, 1, 2, 2, 3, 3])
+
+    def test_rejects_sizes_without_solutions(self):
+        with pytest.raises(ValueError):
+            LangfordProblem(5)
+        with pytest.raises(ValueError):
+            LangfordProblem(2)
+
+    def test_cost_positive_for_bad_arrangement(self):
+        problem = LangfordProblem(3)
+        assert problem.cost(np.array([1, 1, 2, 2, 3, 3])) > 0.0
+
+    def test_variable_errors_follow_value_errors(self):
+        problem = LangfordProblem(3)
+        perm = np.array([1, 1, 2, 2, 3, 3])
+        errors = problem.variable_errors(perm)
+        # Positions holding value 1 share value-1's error, etc.
+        assert errors[0] == errors[1]
+        assert errors[2] == errors[3]
+        solution = LangfordProblem.reference_solution(3)
+        assert problem.variable_errors(solution).sum() == 0.0

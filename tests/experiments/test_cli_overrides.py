@@ -1,0 +1,62 @@
+"""CLI configuration overrides (profile / --runs / --seed plumbing)."""
+
+import pytest
+
+from repro.cli import _config_from_args, build_parser
+
+
+def parse(args):
+    return build_parser().parse_args(args)
+
+
+class TestConfigFromArgs:
+    def test_profile_selection(self):
+        tiny = _config_from_args(parse(["run", "figure3", "--profile", "tiny"]))
+        quick = _config_from_args(parse(["run", "figure3", "--profile", "quick"]))
+        full = _config_from_args(parse(["run", "figure3", "--profile", "full"]))
+        assert tiny.n_sequential_runs < quick.n_sequential_runs < full.n_sequential_runs
+        assert full.all_interval_n > quick.all_interval_n
+
+    def test_runs_override_keeps_instance_sizes(self):
+        config = _config_from_args(parse(["run", "table2", "--profile", "tiny", "--runs", "7"]))
+        tiny = _config_from_args(parse(["run", "table2", "--profile", "tiny"]))
+        assert config.n_sequential_runs == 7
+        assert config.magic_square_n == tiny.magic_square_n
+        assert config.costas_n == tiny.costas_n
+
+    def test_seed_override(self):
+        config = _config_from_args(parse(["run", "table2", "--profile", "tiny", "--seed", "42"]))
+        assert config.base_seed == 42
+
+    def test_runs_and_seed_override_together(self):
+        config = _config_from_args(
+            parse(["run", "table2", "--profile", "tiny", "--runs", "9", "--seed", "5"])
+        )
+        assert config.n_sequential_runs == 9
+        assert config.base_seed == 5
+
+    def test_campaign_subcommand_shares_overrides(self):
+        config = _config_from_args(parse(["campaign", "--profile", "tiny", "--runs", "3"]))
+        assert config.n_sequential_runs == 3
+
+
+class TestParserShape:
+    def test_predict_defaults(self):
+        args = parse(["predict"])
+        assert args.input == "-"
+        assert args.cores == [16, 32, 64, 128, 256]
+        assert args.family is None
+        assert not args.empirical
+
+    def test_predict_family_and_cores(self):
+        args = parse(["predict", "--family", "shifted_lognormal", "--cores", "8", "16"])
+        assert args.family == "shifted_lognormal"
+        assert args.cores == [8, 16]
+
+    def test_run_accepts_multiple_experiments(self):
+        args = parse(["run", "table1", "table5", "figure9"])
+        assert args.experiments == ["table1", "table5", "figure9"]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            parse([])

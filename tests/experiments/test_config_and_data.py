@@ -1,0 +1,91 @@
+"""Experiment configuration and campaign collection/caching."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import BENCHMARK_KEYS, ExperimentConfig
+from repro.experiments.data import (
+    CampaignSummary,
+    clear_observation_cache,
+    collect_benchmark_observations,
+)
+
+
+class TestExperimentConfig:
+    def test_profiles_are_valid(self):
+        for config in (ExperimentConfig.tiny(), ExperimentConfig.quick(), ExperimentConfig.full()):
+            assert config.n_sequential_runs >= 2
+            assert set(config.benchmarks()) == set(BENCHMARK_KEYS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_sequential_runs=1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(cores=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(cores=(0, 4))
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_parallel_runs=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(max_iterations=0)
+
+    def test_benchmark_specs_build_solvers(self, tiny_config):
+        for key, spec in tiny_config.benchmarks().items():
+            solver = spec.make_solver(100)
+            assert solver.config.max_iterations == 100
+            assert spec.label
+            assert spec.key == key
+
+    def test_paper_families_and_shift_rules(self, tiny_config):
+        assert tiny_config.paper_family("MS") == "shifted_lognormal"
+        assert tiny_config.paper_family("AI") == "shifted_exponential"
+        assert tiny_config.paper_family("Costas") == "shifted_exponential"
+        assert tiny_config.paper_shift_rule("Costas") == "zero_if_negligible"
+
+    def test_instance_sizes_affect_benchmarks(self):
+        config = ExperimentConfig(magic_square_n=5, all_interval_n=20, costas_n=11,
+                                  n_sequential_runs=2)
+        specs = config.benchmarks()
+        assert specs["MS"].problem_factory().size == 25
+        assert specs["AI"].problem_factory().size == 20
+        assert specs["Costas"].problem_factory().size == 11
+
+
+class TestCampaignCollection:
+    def test_all_benchmarks_collected(self, tiny_config, tiny_observations):
+        assert set(tiny_observations) == set(BENCHMARK_KEYS)
+        for key in BENCHMARK_KEYS:
+            assert tiny_observations[key].n_runs == tiny_config.n_sequential_runs
+
+    def test_in_process_cache_returns_same_data(self, tiny_config, tiny_observations):
+        again = collect_benchmark_observations(tiny_config)
+        for key in BENCHMARK_KEYS:
+            np.testing.assert_array_equal(
+                again[key].iterations, tiny_observations[key].iterations
+            )
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        config = ExperimentConfig(
+            magic_square_n=3,
+            all_interval_n=8,
+            costas_n=6,
+            n_sequential_runs=4,
+            n_parallel_runs=5,
+            cores=(2, 4),
+            max_iterations=20_000,
+            base_seed=7,
+        )
+        clear_observation_cache()
+        first = collect_benchmark_observations(config, cache_dir=tmp_path)
+        files = list(tmp_path.glob("observations-*.json"))
+        assert len(files) == 3
+        clear_observation_cache()
+        second = collect_benchmark_observations(config, cache_dir=tmp_path)
+        for key in BENCHMARK_KEYS:
+            np.testing.assert_array_equal(first[key].iterations, second[key].iterations)
+        clear_observation_cache()
+
+    def test_campaign_summary(self, tiny_config, tiny_observations):
+        summary = CampaignSummary.from_observations(tiny_config, tiny_observations)
+        assert set(summary.n_runs) == set(BENCHMARK_KEYS)
+        assert all(0.0 <= rate <= 1.0 for rate in summary.success_rates.values())

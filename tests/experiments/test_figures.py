@@ -1,0 +1,141 @@
+"""Figures 1–14 experiment functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures_experiments import (
+    figure6_csplib_speedups,
+    figure7_costas_speedups,
+    figure14_costas_extended,
+)
+from repro.experiments.figures_fits import (
+    figure8_all_interval_fit,
+    figure9_all_interval_prediction,
+    figure10_magic_square_fit,
+    figure11_magic_square_prediction,
+    figure12_costas_fit,
+    figure13_costas_prediction,
+)
+from repro.experiments.figures_model import (
+    figure1_gaussian_min,
+    figure2_exponential_min,
+    figure3_exponential_speedup,
+    figure4_lognormal_min,
+    figure5_lognormal_speedup,
+)
+
+
+class TestModelFigures:
+    def test_figure1_min_distribution_moves_toward_origin(self):
+        figure = figure1_gaussian_min()
+        peaks = [figure.peak_location(n) for n in (1, 10, 100, 1000)]
+        assert all(a >= b for a, b in zip(peaks, peaks[1:]))
+        assert peaks[0] > 3 * peaks[-1] or peaks[-1] == figure.grid[0]
+        assert "Figure 1" in figure.format()
+
+    def test_figure2_exponential_min_distributions(self):
+        figure = figure2_exponential_min()
+        assert set(figure.densities) == {1, 2, 4, 8}
+        # The mass captured by the plotted window matches the CDF of Z(n) at
+        # the right edge of the grid (and grows with n as the distribution
+        # concentrates near the shift).
+        masses = {}
+        for n, dens in figure.densities.items():
+            mass = np.trapezoid(dens, figure.grid)
+            expected = float(figure.base.min_of(n).cdf(figure.grid[-1]))
+            # Trapezoid error at the density jump at x0 dominates the tolerance.
+            assert mass == pytest.approx(expected, abs=0.03), n
+            masses[n] = mass
+        assert masses[1] < masses[2] < masses[4] < masses[8]
+
+    def test_figure3_speedup_curve_limit_11(self):
+        figure = figure3_exponential_speedup()
+        assert figure.limit == pytest.approx(11.0)
+        assert figure.curve.speedups[0] == pytest.approx(1.0)
+        assert max(figure.curve.speedups) < 11.0
+        assert "limit" in figure.format()
+
+    def test_figure4_lognormal_min_distributions(self):
+        figure = figure4_lognormal_min()
+        peaks = [figure.peak_location(n) for n in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(peaks, peaks[1:]))
+
+    def test_figure5_lognormal_speedup_range(self):
+        """Paper Figure 5: speed-up around 25 at 256 cores."""
+        figure = figure5_lognormal_speedup()
+        final = figure.curve.speedups[-1]
+        assert 20.0 < final < 32.0
+        assert math.isinf(figure.limit)
+
+
+class TestFitFigures:
+    def test_figure8_exponential_fit_for_all_interval(self, tiny_config, tiny_observations):
+        figure = figure8_all_interval_fit(tiny_config, tiny_observations)
+        assert figure.fit.family == "shifted_exponential"
+        assert figure.histogram.fitted is not None
+        assert figure.histogram.total_mass() == pytest.approx(1.0, abs=1e-6)
+        assert "Figure 8" in figure.format()
+
+    def test_figure10_lognormal_fit_for_magic_square(self, tiny_config, tiny_observations):
+        figure = figure10_magic_square_fit(tiny_config, tiny_observations)
+        assert figure.fit.family == "shifted_lognormal"
+        assert figure.benchmark == "MS"
+
+    def test_figure12_costas_fit_has_negligible_shift(self, tiny_config, tiny_observations):
+        figure = figure12_costas_fit(tiny_config, tiny_observations)
+        params = figure.fit.distribution.params()
+        # Costas rule: the shift is either zero or tiny relative to the mean.
+        assert params["x0"] <= 0.05 * figure.fit.distribution.mean()
+
+    def test_prediction_figures_are_monotone_curves(self, tiny_config, tiny_observations):
+        for builder in (
+            figure9_all_interval_prediction,
+            figure11_magic_square_prediction,
+            figure13_costas_prediction,
+        ):
+            figure = builder(tiny_config, tiny_observations)
+            speedups = list(figure.curve.speedups)
+            assert speedups[0] == pytest.approx(1.0)
+            assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+            assert figure.limit > 1.0
+
+    def test_figure13_costas_is_nearly_linear(self, tiny_config, tiny_observations):
+        """The Costas fit predicts (near-)linear scaling (Section 6.3)."""
+        figure = figure13_costas_prediction(tiny_config, tiny_observations)
+        curve = dict(zip(figure.curve.cores, figure.curve.speedups))
+        largest = max(curve)
+        assert curve[largest] > 0.5 * largest
+
+
+class TestMeasuredFigures:
+    def test_figure6_includes_ideal_and_both_benchmarks(self, tiny_config, tiny_observations):
+        figure = figure6_csplib_speedups(tiny_config, tiny_observations)
+        assert "Ideal" in figure.series
+        assert len(figure.series) == 3
+        assert figure.cores == tiny_config.cores
+        # The ideal reference is exactly the core count; measured curves are positive.
+        top = tiny_config.cores[-1]
+        assert figure.speedup("Ideal", top) == pytest.approx(float(top))
+        assert all(
+            figure.speedup(name, top) > 0.0 for name in figure.series if name != "Ideal"
+        )
+
+    def test_figure7_costas_scales_well(self, tiny_config, tiny_observations):
+        figure = figure7_costas_speedups(tiny_config, tiny_observations)
+        label = tiny_observations["Costas"].label
+        top = tiny_config.cores[-1]
+        assert figure.speedup(label, top) > 0.3 * top
+
+    def test_figure14_extends_to_large_core_counts(self, tiny_config, tiny_observations):
+        figure = figure14_costas_extended(tiny_config, tiny_observations)
+        assert max(figure.cores) == max(tiny_config.extended_cores)
+        assert len(figure.series) == 3
+        assert "measured" in " ".join(figure.series)
+        assert "predicted" in " ".join(figure.series)
+
+    def test_format_renders_series_table(self, tiny_config, tiny_observations):
+        text = figure6_csplib_speedups(tiny_config, tiny_observations).format()
+        assert "cores" in text
+        assert "Ideal" in text

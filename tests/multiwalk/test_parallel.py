@@ -1,0 +1,93 @@
+"""Multi-walk executors (sequential emulation and process-based)."""
+
+import numpy as np
+import pytest
+
+from repro.csp.problems import CostasArrayProblem, NQueensProblem
+from repro.multiwalk.parallel import MultiWalkExecutor, MultiwalkRunOutcome, emulate_multiwalk
+from repro.solvers.adaptive_search import AdaptiveSearch
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+
+
+class SyntheticAlgorithm(LasVegasAlgorithm):
+    name = "synthetic"
+
+    def _run(self, rng: np.random.Generator) -> RunResult:
+        iterations = int(rng.integers(1, 1000))
+        return RunResult(solved=True, iterations=iterations, runtime_seconds=0.0)
+
+
+class TestEmulateMultiwalk:
+    def test_winner_has_minimum_iterations(self):
+        algo = SyntheticAlgorithm()
+        outcome = emulate_multiwalk(algo, 16, base_seed=0)
+        assert isinstance(outcome, MultiwalkRunOutcome)
+        assert outcome.solved
+        assert outcome.min_iterations == outcome.winner_result.iterations
+        # Re-running the individual walks must not find anything better.
+        seq = np.random.SeedSequence(0)
+        seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(16)]
+        best = min(algo.run(seed).iterations for seed in seeds)
+        assert outcome.min_iterations == best
+
+    def test_more_walks_never_hurt(self):
+        """Multi-walk minimum is non-increasing in the number of walks (same seed tree)."""
+        algo = SyntheticAlgorithm()
+        few = np.mean([emulate_multiwalk(algo, 2, base_seed=s).min_iterations for s in range(15)])
+        many = np.mean([emulate_multiwalk(algo, 16, base_seed=s).min_iterations for s in range(15)])
+        assert many <= few
+
+    def test_single_walk_equals_sequential_run(self):
+        algo = SyntheticAlgorithm()
+        outcome = emulate_multiwalk(algo, 1, base_seed=3)
+        assert outcome.n_walks == 1
+        assert outcome.min_iterations > 0
+
+    def test_rejects_zero_walks(self):
+        with pytest.raises(ValueError):
+            emulate_multiwalk(SyntheticAlgorithm(), 0)
+
+    def test_unsolved_walks_still_produce_outcome(self):
+        from repro.solvers.adaptive_search import AdaptiveSearchConfig
+
+        solver = AdaptiveSearch(NQueensProblem(30), AdaptiveSearchConfig(max_iterations=2))
+        outcome = emulate_multiwalk(solver, 3, base_seed=0)
+        assert not outcome.solved
+        assert outcome.min_iterations <= 2
+
+    def test_real_solver_multiwalk_is_correct(self):
+        solver = AdaptiveSearch(CostasArrayProblem(7))
+        outcome = emulate_multiwalk(solver, 4, base_seed=1)
+        assert outcome.solved
+        assert solver.problem.is_solution(outcome.winner_result.solution)
+
+
+class TestMultiWalkExecutor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiWalkExecutor(SyntheticAlgorithm(), 0)
+        with pytest.raises(ValueError):
+            MultiWalkExecutor(SyntheticAlgorithm(), 2, n_processes=0)
+
+    def test_single_process_falls_back_to_emulation(self):
+        executor = MultiWalkExecutor(SyntheticAlgorithm(), 8, n_processes=1)
+        outcome = executor.run(base_seed=5)
+        reference = emulate_multiwalk(SyntheticAlgorithm(), 8, base_seed=5)
+        assert outcome.min_iterations == reference.min_iterations
+
+    def test_measure_speedup_positive(self):
+        executor = MultiWalkExecutor(SyntheticAlgorithm(), 4, n_processes=1)
+        speedup = executor.measure_speedup(sequential_mean_seconds=1.0, n_repeats=2)
+        assert speedup > 0.0
+
+    def test_measure_speedup_rejects_zero_repeats(self):
+        executor = MultiWalkExecutor(SyntheticAlgorithm(), 2, n_processes=1)
+        with pytest.raises(ValueError):
+            executor.measure_speedup(1.0, n_repeats=0)
+
+    @pytest.mark.slow
+    def test_process_pool_execution(self):
+        """Real process-based execution (small, in case only one CPU is available)."""
+        executor = MultiWalkExecutor(AdaptiveSearch(CostasArrayProblem(6)), 2, n_processes=2)
+        outcome = executor.run(base_seed=0)
+        assert outcome.solved

@@ -1,0 +1,140 @@
+"""Sequential batch runner and the simulated multi-walk."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import ShiftedExponential
+from repro.csp.problems import CostasArrayProblem
+from repro.multiwalk.observations import RuntimeObservations
+from repro.multiwalk.runner import collect_observations, run_sequential_batch
+from repro.multiwalk.simulate import (
+    MultiwalkMeasurement,
+    simulate_multiwalk_from_observations,
+    simulate_multiwalk_speedups,
+)
+from repro.solvers.adaptive_search import AdaptiveSearch
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+
+
+class SyntheticAlgorithm(LasVegasAlgorithm):
+    """Las Vegas algorithm whose runtime is an explicit exponential draw."""
+
+    name = "synthetic-exponential"
+
+    def __init__(self, scale: float = 100.0) -> None:
+        self.scale = scale
+
+    def _run(self, rng: np.random.Generator) -> RunResult:
+        iterations = int(rng.exponential(self.scale)) + 1
+        return RunResult(solved=True, iterations=iterations, runtime_seconds=0.0)
+
+
+class TestRunner:
+    def test_batch_size_and_label(self):
+        batch = run_sequential_batch(SyntheticAlgorithm(), 25, base_seed=1, label="synthetic")
+        assert isinstance(batch, RuntimeObservations)
+        assert batch.n_runs == 25
+        assert batch.label == "synthetic"
+
+    def test_batches_are_reproducible(self):
+        a = run_sequential_batch(SyntheticAlgorithm(), 10, base_seed=3)
+        b = run_sequential_batch(SyntheticAlgorithm(), 10, base_seed=3)
+        np.testing.assert_array_equal(a.iterations, b.iterations)
+
+    def test_different_base_seeds_differ(self):
+        a = run_sequential_batch(SyntheticAlgorithm(), 10, base_seed=3)
+        b = run_sequential_batch(SyntheticAlgorithm(), 10, base_seed=4)
+        assert not np.array_equal(a.iterations, b.iterations)
+
+    def test_runs_within_batch_are_independent(self):
+        batch = run_sequential_batch(SyntheticAlgorithm(), 50, base_seed=0)
+        assert np.unique(batch.iterations).size > 10
+
+    def test_progress_callback(self):
+        seen = []
+        run_sequential_batch(
+            SyntheticAlgorithm(), 5, base_seed=0, progress=lambda i, r: seen.append(i)
+        )
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            run_sequential_batch(SyntheticAlgorithm(), 0)
+
+    def test_collect_observations_multiple_algorithms(self):
+        batches = collect_observations(
+            [SyntheticAlgorithm(50.0), AdaptiveSearch(CostasArrayProblem(6))], 5, base_seed=0
+        )
+        assert len(batches) == 2
+        assert all(batch.n_runs == 5 for batch in batches.values())
+
+    def test_collect_observations_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            collect_observations([], 5)
+
+
+class TestSimulatedMultiwalk:
+    def test_linear_speedup_for_exponential_data(self, rng):
+        """Exponential runtimes with x0=0 -> measured speed-up ~ number of cores."""
+        data = ShiftedExponential(x0=0.0, lam=1e-3).sample(rng, 20000)
+        measurement = simulate_multiwalk_from_observations(
+            data, cores=[2, 8, 16], n_parallel_runs=3000, rng=rng
+        )
+        for n in (2, 8, 16):
+            assert measurement.speedup(n) == pytest.approx(n, rel=0.15)
+
+    def test_speedup_bounded_by_mean_over_min(self, rng):
+        data = rng.lognormal(5.0, 1.0, 400) + 50.0
+        measurement = simulate_multiwalk_from_observations(data, cores=[4096], rng=rng)
+        bound = data.mean() / data.min()
+        assert measurement.speedup(4096) <= bound * 1.0001
+
+    def test_one_core_speedup_is_one(self, rng):
+        data = rng.exponential(10.0, 100)
+        measurement = simulate_multiwalk_from_observations(data, cores=[1], rng=rng)
+        assert measurement.speedup(1) == pytest.approx(1.0)
+
+    def test_blocks_mode_uses_disjoint_blocks(self, rng):
+        data = rng.exponential(10.0, 1000)
+        measurement = simulate_multiwalk_from_observations(
+            data, cores=[10], mode="blocks", rng=rng
+        )
+        assert measurement.speedup(10) > 1.0
+
+    def test_blocks_mode_requires_enough_observations(self, rng):
+        with pytest.raises(ValueError):
+            simulate_multiwalk_from_observations(
+                rng.exponential(1.0, 5), cores=[10], mode="blocks", rng=rng
+            )
+
+    def test_argument_validation(self, rng):
+        data = rng.exponential(1.0, 10)
+        with pytest.raises(ValueError):
+            simulate_multiwalk_from_observations([], cores=[2])
+        with pytest.raises(ValueError):
+            simulate_multiwalk_from_observations(data, cores=[0])
+        with pytest.raises(ValueError):
+            simulate_multiwalk_from_observations(data, cores=[2], n_parallel_runs=0)
+        with pytest.raises(ValueError):
+            simulate_multiwalk_from_observations(data, cores=[2], mode="warp")
+
+    def test_measurement_record_interface(self, rng):
+        data = rng.exponential(1.0, 50)
+        measurement = simulate_multiwalk_from_observations(data, cores=[2, 4], rng=rng)
+        assert isinstance(measurement, MultiwalkMeasurement)
+        assert set(measurement.as_dict()) == {2, 4}
+        assert list(measurement)[0][0] == 2
+        with pytest.raises(KeyError):
+            measurement.speedup(64)
+
+    def test_wrapper_accepts_observation_batches(self, rng):
+        batch = run_sequential_batch(SyntheticAlgorithm(), 60, base_seed=5)
+        measurement = simulate_multiwalk_speedups(batch, cores=[4], rng=rng)
+        assert measurement.label == "synthetic-exponential"
+        assert measurement.speedup(4) > 1.0
+
+    def test_reproducible_with_seeded_rng(self, rng):
+        data = np.random.default_rng(1).exponential(5.0, 200)
+        a = simulate_multiwalk_from_observations(data, cores=[8], rng=np.random.default_rng(2))
+        b = simulate_multiwalk_from_observations(data, cores=[8], rng=np.random.default_rng(2))
+        assert a.speedups == b.speedups

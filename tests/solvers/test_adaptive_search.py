@@ -1,0 +1,110 @@
+"""Adaptive Search solver."""
+
+import numpy as np
+import pytest
+
+from repro.csp.problems import (
+    AllIntervalProblem,
+    CostasArrayProblem,
+    MagicSquareProblem,
+    NQueensProblem,
+)
+from repro.solvers.adaptive_search import AdaptiveSearch, AdaptiveSearchConfig
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = AdaptiveSearchConfig()
+        assert config.max_iterations > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"tabu_tenure": 0},
+            {"reset_limit": 0},
+            {"reset_fraction": 0.0},
+            {"reset_fraction": 1.5},
+            {"restart_limit": 0},
+            {"plateau_probability": -0.1},
+            {"plateau_probability": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveSearchConfig(**kwargs)
+
+
+class TestSolving:
+    @pytest.mark.parametrize(
+        "problem",
+        [
+            AllIntervalProblem(8),
+            MagicSquareProblem(3),
+            CostasArrayProblem(7),
+            NQueensProblem(8),
+        ],
+        ids=["all-interval-8", "magic-square-3", "costas-7", "n-queens-8"],
+    )
+    def test_finds_valid_solutions(self, problem):
+        solver = AdaptiveSearch(problem, AdaptiveSearchConfig(max_iterations=100_000))
+        for seed in range(5):
+            result = solver.run(seed)
+            assert result.solved, f"seed {seed} failed"
+            assert problem.is_solution(result.solution)
+            assert problem.check_permutation(result.solution)
+            assert result.iterations >= 0
+
+    def test_runs_are_reproducible_per_seed(self):
+        solver = AdaptiveSearch(CostasArrayProblem(8))
+        a = solver.run(7)
+        b = solver.run(7)
+        assert a.iterations == b.iterations
+        np.testing.assert_array_equal(a.solution, b.solution)
+
+    def test_iteration_counts_vary_across_seeds(self):
+        """The defining Las Vegas property: runtime is a non-degenerate random variable."""
+        solver = AdaptiveSearch(AllIntervalProblem(10))
+        iterations = {solver.run(seed).iterations for seed in range(15)}
+        assert len(iterations) > 3
+
+    def test_budget_censors_runs(self):
+        solver = AdaptiveSearch(
+            MagicSquareProblem(6), AdaptiveSearchConfig(max_iterations=5)
+        )
+        result = solver.run(0)
+        assert not result.solved
+        assert result.iterations == 5
+        assert result.solution is None
+
+    def test_immediate_solution_when_initialised_on_one(self):
+        """If the random initial configuration is already a solution, 0 iterations."""
+
+        class FixedInitProblem(CostasArrayProblem):
+            def random_configuration(self, rng):
+                return np.array([3, 4, 2, 1, 5])
+
+        solver = AdaptiveSearch(FixedInitProblem(5))
+        result = solver.run(0)
+        assert result.solved
+        assert result.iterations == 0
+
+    def test_restart_limit_triggers_restarts(self):
+        config = AdaptiveSearchConfig(max_iterations=4000, restart_limit=10)
+        solver = AdaptiveSearch(MagicSquareProblem(5), config)
+        result = solver.run(3)
+        # With a 10-iteration restart budget on a hard instance restarts are inevitable.
+        assert result.restarts > 0
+
+    def test_name_mentions_problem(self):
+        solver = AdaptiveSearch(AllIntervalProblem(8))
+        assert "all-interval" in solver.name
+
+
+class TestRuntimeDistributionShape:
+    def test_costas_runtimes_are_heavily_dispersed(self):
+        """Paper Section 5.4: min-max ratios of orders of magnitude."""
+        solver = AdaptiveSearch(CostasArrayProblem(9))
+        iterations = np.array([solver.run(seed).iterations for seed in range(40)], dtype=float)
+        iterations = np.maximum(iterations, 1.0)
+        assert iterations.max() / iterations.min() > 5.0

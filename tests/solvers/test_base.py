@@ -1,0 +1,66 @@
+"""LasVegasAlgorithm interface and RunResult."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+
+
+class CoinFlipAlgorithm(LasVegasAlgorithm):
+    """Toy Las Vegas algorithm: repeat coin flips until heads."""
+
+    name = "coin-flip"
+
+    def _run(self, rng: np.random.Generator) -> RunResult:
+        iterations = 1
+        while rng.random() >= 0.5:
+            iterations += 1
+        return RunResult(solved=True, iterations=iterations, runtime_seconds=0.0)
+
+
+class TestRunResult:
+    def test_cost_measures(self):
+        result = RunResult(solved=True, iterations=42, runtime_seconds=1.5)
+        assert result.cost("iterations") == 42.0
+        assert result.cost("time") == 1.5
+        with pytest.raises(ValueError):
+            result.cost("flops")
+
+    def test_defaults(self):
+        result = RunResult(solved=False, iterations=10, runtime_seconds=0.1)
+        assert result.solution is None
+        assert result.restarts == 0
+        assert result.seed is None
+
+
+class TestLasVegasAlgorithm:
+    def test_integer_seed_gives_reproducible_runs(self):
+        algo = CoinFlipAlgorithm()
+        first = algo.run(123)
+        second = algo.run(123)
+        assert first.iterations == second.iterations
+        assert first.seed == 123
+
+    def test_different_seeds_explore_different_runs(self):
+        algo = CoinFlipAlgorithm()
+        iterations = {algo.run(seed).iterations for seed in range(40)}
+        assert len(iterations) > 1
+
+    def test_generator_seed_is_accepted(self):
+        algo = CoinFlipAlgorithm()
+        result = algo.run(np.random.default_rng(5))
+        assert result.solved
+        assert result.seed is None
+
+    def test_runtime_is_filled_in(self):
+        result = CoinFlipAlgorithm().run(0)
+        assert result.runtime_seconds > 0.0
+
+    def test_describe_defaults_to_name(self):
+        assert CoinFlipAlgorithm().describe() == "coin-flip"
+
+    def test_geometric_runtime_distribution(self):
+        """The toy algorithm has a geometric runtime: mean ~2 flips."""
+        algo = CoinFlipAlgorithm()
+        iterations = [algo.run(seed).iterations for seed in range(800)]
+        assert np.mean(iterations) == pytest.approx(2.0, rel=0.15)

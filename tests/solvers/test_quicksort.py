@@ -1,0 +1,61 @@
+"""Randomized quicksort as a Las Vegas algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers.quicksort import RandomizedQuicksort
+
+
+class TestRandomizedQuicksort:
+    def test_always_sorts_correctly(self):
+        algo = RandomizedQuicksort(n=128)
+        for seed in range(5):
+            result = algo.run(seed)
+            assert result.solved
+            assert np.all(np.diff(result.solution) >= 0)
+
+    def test_custom_input_array(self):
+        data = np.array([5, 3, 9, 1, 7])
+        algo = RandomizedQuicksort(data=data)
+        result = algo.run(0)
+        np.testing.assert_array_equal(result.solution, np.sort(data))
+
+    def test_comparison_count_is_random_variable(self):
+        algo = RandomizedQuicksort(n=200)
+        counts = {algo.run(seed).iterations for seed in range(10)}
+        assert len(counts) > 1
+
+    def test_mean_comparisons_match_exact_expectation(self):
+        """E[comparisons] = 2(n+1)H_n - 4n for random-pivot quicksort."""
+        n = 256
+        algo = RandomizedQuicksort(n=n)
+        counts = [algo.run(seed).iterations for seed in range(30)]
+        harmonic = sum(1.0 / i for i in range(1, n + 1))
+        expected = 2.0 * (n + 1) * harmonic - 4.0 * n
+        assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+    def test_comparison_count_lower_bound(self):
+        n = 64
+        algo = RandomizedQuicksort(n=n)
+        assert algo.run(0).iterations >= n - 1  # at least n-1 comparisons needed
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedQuicksort(n=1)
+        with pytest.raises(ValueError):
+            RandomizedQuicksort(data=np.array([1]))
+
+    def test_reproducibility(self):
+        algo = RandomizedQuicksort(n=100)
+        assert algo.run(9).iterations == algo.run(9).iterations
+
+    def test_multiwalk_speedup_saturates_quickly(self):
+        """Concentrated runtimes -> parallelisation barely helps (negative example)."""
+        from repro.core.prediction import predict_speedup_empirical
+
+        algo = RandomizedQuicksort(n=128)
+        counts = [algo.run(seed).iterations for seed in range(60)]
+        result = predict_speedup_empirical(counts, cores=[16, 256])
+        assert result.speedup(256) < 2.0

@@ -1,0 +1,54 @@
+"""Random-restart min-conflict baseline solver."""
+
+import numpy as np
+import pytest
+
+from repro.csp.problems import AllIntervalProblem, NQueensProblem
+from repro.solvers.random_restart import RandomRestartConfig, RandomRestartSearch
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_iterations": 0}, {"stall_limit": 0}, {"sideways_probability": 2.0}],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RandomRestartConfig(**kwargs)
+
+
+class TestSolving:
+    def test_solves_nqueens(self):
+        solver = RandomRestartSearch(NQueensProblem(8))
+        for seed in range(5):
+            result = solver.run(seed)
+            assert result.solved
+            assert solver.problem.is_solution(result.solution)
+
+    def test_solves_all_interval(self):
+        solver = RandomRestartSearch(AllIntervalProblem(8))
+        result = solver.run(1)
+        assert result.solved
+        assert solver.problem.is_solution(result.solution)
+
+    def test_budget_censoring(self):
+        solver = RandomRestartSearch(
+            NQueensProblem(12), RandomRestartConfig(max_iterations=2)
+        )
+        result = solver.run(0)
+        assert result.iterations <= 2
+
+    def test_reproducibility(self):
+        solver = RandomRestartSearch(NQueensProblem(8))
+        assert solver.run(11).iterations == solver.run(11).iterations
+
+    def test_is_a_different_las_vegas_algorithm_than_adaptive_search(self):
+        """Both solve the problem; runtime distributions differ (used by ablations)."""
+        from repro.solvers.adaptive_search import AdaptiveSearch
+
+        problem = NQueensProblem(10)
+        baseline = RandomRestartSearch(problem)
+        adaptive = AdaptiveSearch(problem)
+        baseline_iters = np.mean([baseline.run(seed).iterations for seed in range(10)])
+        adaptive_iters = np.mean([adaptive.run(seed).iterations for seed in range(10)])
+        assert baseline_iters > 0 and adaptive_iters > 0

@@ -1,0 +1,130 @@
+"""CNF substrate, random k-SAT generators and WalkSAT."""
+
+import numpy as np
+import pytest
+
+from repro.sat import CNFFormula, random_ksat, random_planted_ksat
+from repro.solvers.walksat import WalkSAT, WalkSATConfig
+
+
+class TestCNFFormula:
+    def test_construction_and_counts(self):
+        formula = CNFFormula(3, [(1, -2), (2, 3), (-1, -3)])
+        assert formula.n_variables == 3
+        assert formula.n_clauses == 3
+
+    def test_rejects_bad_clauses(self):
+        with pytest.raises(ValueError):
+            CNFFormula(2, [(0,)])
+        with pytest.raises(ValueError):
+            CNFFormula(2, [(3,)])
+        with pytest.raises(ValueError):
+            CNFFormula(2, [()])
+        with pytest.raises(ValueError):
+            CNFFormula(2, [])
+        with pytest.raises(ValueError):
+            CNFFormula(0, [(1,)])
+
+    def test_satisfaction_checks(self):
+        formula = CNFFormula(2, [(1, 2), (-1, 2)])
+        assert formula.is_satisfied(np.array([True, True]))
+        assert formula.is_satisfied(np.array([False, True]))
+        assert not formula.is_satisfied(np.array([True, False]))
+        assert formula.count_unsatisfied(np.array([False, False])) == 1
+        np.testing.assert_array_equal(
+            formula.unsatisfied_clauses(np.array([False, False])), [0]
+        )
+
+    def test_break_count(self):
+        formula = CNFFormula(2, [(1,), (1, 2)])
+        assignment = np.array([True, False])
+        # Flipping variable 0 breaks both clauses (clause 2 has no other true literal).
+        assert formula.break_count(assignment, 0) == 2
+        assert formula.break_count(assignment, 1) == 0
+        with pytest.raises(IndexError):
+            formula.break_count(assignment, 5)
+
+    def test_assignment_shape_validation(self):
+        formula = CNFFormula(3, [(1, 2, 3)])
+        with pytest.raises(ValueError):
+            formula.is_satisfied(np.array([True, False]))
+
+    def test_dimacs_round_trip(self):
+        formula = CNFFormula(3, [(1, -2, 3), (-1, 2)])
+        text = formula.to_dimacs()
+        parsed = CNFFormula.from_dimacs(text)
+        assert parsed.n_variables == 3
+        assert parsed.clauses == formula.clauses
+
+    def test_from_dimacs_with_comments(self):
+        text = "c a comment\np cnf 2 2\n1 -2 0\n2 0\n"
+        formula = CNFFormula.from_dimacs(text)
+        assert formula.n_clauses == 2
+
+    def test_from_dimacs_missing_header(self):
+        with pytest.raises(ValueError):
+            CNFFormula.from_dimacs("1 2 0\n")
+
+
+class TestGenerators:
+    def test_random_ksat_shape(self, rng):
+        formula = random_ksat(20, 80, k=3, rng=rng)
+        assert formula.n_variables == 20
+        assert formula.n_clauses == 80
+        assert all(len(set(abs(l) for l in clause)) == 3 for clause in formula.clauses)
+
+    def test_planted_instance_is_satisfiable(self, rng):
+        formula, planted = random_planted_ksat(30, 120, rng=rng)
+        assert formula.is_satisfied(planted)
+
+    def test_generator_argument_validation(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, k=3)
+        with pytest.raises(ValueError):
+            random_planted_ksat(10, 0)
+
+    def test_reproducibility_with_seeded_rng(self):
+        a = random_ksat(15, 40, rng=np.random.default_rng(3))
+        b = random_ksat(15, 40, rng=np.random.default_rng(3))
+        assert a.clauses == b.clauses
+
+
+class TestWalkSAT:
+    def test_solves_planted_instances(self, rng):
+        formula, _ = random_planted_ksat(40, 150, rng=rng)
+        solver = WalkSAT(formula, WalkSATConfig(max_flips=200_000))
+        for seed in range(3):
+            result = solver.run(seed)
+            assert result.solved
+            assert formula.is_satisfied(result.solution)
+
+    def test_flip_budget_censors(self, rng):
+        formula, _ = random_planted_ksat(50, 210, rng=rng)
+        solver = WalkSAT(formula, WalkSATConfig(max_flips=1))
+        result = solver.run(0)
+        assert result.iterations <= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WalkSATConfig(max_flips=0)
+        with pytest.raises(ValueError):
+            WalkSATConfig(noise=1.5)
+        with pytest.raises(ValueError):
+            WalkSATConfig(restart_after=0)
+
+    def test_restarts_are_counted(self, rng):
+        formula, _ = random_planted_ksat(40, 160, rng=rng)
+        solver = WalkSAT(formula, WalkSATConfig(max_flips=5000, restart_after=50))
+        result = solver.run(2)
+        assert result.restarts >= 0  # restarts may or may not trigger before solving
+
+    def test_runtime_is_a_random_variable(self, rng):
+        formula, _ = random_planted_ksat(40, 150, rng=rng)
+        solver = WalkSAT(formula)
+        flips = {solver.run(seed).iterations for seed in range(8)}
+        assert len(flips) > 1
+
+    def test_reproducibility(self, rng):
+        formula, _ = random_planted_ksat(30, 110, rng=rng)
+        solver = WalkSAT(formula)
+        assert solver.run(5).iterations == solver.run(5).iterations

@@ -1,0 +1,61 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import ShiftedExponential
+from repro.stats.bootstrap import BootstrapInterval, bootstrap_ci, bootstrap_speedup_ci
+
+
+class TestBootstrapCi:
+    def test_interval_contains_point_estimate(self, rng):
+        data = rng.exponential(10.0, 200)
+        interval = bootstrap_ci(data, np.mean, rng=rng, n_resamples=300)
+        assert interval.lower <= interval.point <= interval.upper
+        assert interval.contains(interval.point)
+        assert interval.width() > 0.0
+
+    def test_interval_covers_true_mean_typically(self, rng):
+        true_mean = 50.0
+        data = rng.exponential(true_mean, 400)
+        interval = bootstrap_ci(data, np.mean, rng=rng, n_resamples=400)
+        assert interval.lower < true_mean < interval.upper
+
+    def test_higher_confidence_wider_interval(self, rng):
+        data = rng.exponential(10.0, 150)
+        narrow = bootstrap_ci(data, np.mean, confidence=0.80, rng=np.random.default_rng(1))
+        wide = bootstrap_ci(data, np.mean, confidence=0.99, rng=np.random.default_rng(1))
+        assert wide.width() > narrow.width()
+
+    def test_more_data_narrower_interval(self, rng):
+        small = bootstrap_ci(rng.exponential(10.0, 30), np.mean, rng=np.random.default_rng(2))
+        large = bootstrap_ci(rng.exponential(10.0, 3000), np.mean, rng=np.random.default_rng(2))
+        assert large.width() < small.width()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, n_resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([], np.mean)
+
+    def test_result_records_metadata(self, rng):
+        interval = bootstrap_ci(rng.uniform(size=50), np.median, n_resamples=123, rng=rng)
+        assert isinstance(interval, BootstrapInterval)
+        assert interval.n_resamples == 123
+        assert interval.confidence == 0.95
+
+
+class TestBootstrapSpeedupCi:
+    def test_covers_model_speedup_for_synthetic_data(self, rng):
+        true = ShiftedExponential(x0=0.0, lam=1e-2)
+        data = true.sample(rng, 500)
+        interval = bootstrap_speedup_ci(data, n_cores=16, rng=rng, n_resamples=200)
+        # Linear regime: the true speed-up is 16.
+        assert interval.lower < 16.0 < interval.upper * 1.2
+        assert interval.point > 1.0
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            bootstrap_speedup_ci([1.0, 2.0], n_cores=0)

@@ -1,0 +1,42 @@
+"""Time-to-target plots."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import ShiftedExponential
+from repro.stats.ttt import TimeToTargetPlot, time_to_target
+
+
+class TestTimeToTarget:
+    def test_exponential_runtimes_give_small_deviation(self, rng):
+        dist = ShiftedExponential(x0=50.0, lam=1e-2)
+        runtimes = dist.sample(rng, 500)
+        plot = time_to_target(runtimes, shift_rule="min")
+        assert isinstance(plot, TimeToTargetPlot)
+        assert plot.max_deviation() < 0.1
+
+    def test_non_exponential_runtimes_give_larger_deviation(self, rng):
+        """A bimodal runtime profile is poorly captured by one exponential."""
+        runtimes = np.concatenate([rng.normal(10.0, 0.5, 300), rng.normal(1000.0, 5.0, 300)])
+        runtimes = np.clip(runtimes, 0.1, None)
+        plot = time_to_target(runtimes)
+        exponential_like = time_to_target(ShiftedExponential(x0=0.0, lam=0.1).sample(rng, 600))
+        assert plot.max_deviation() > exponential_like.max_deviation()
+
+    def test_probabilities_are_sorted_and_bounded(self, rng):
+        runtimes = rng.exponential(5.0, 100)
+        plot = time_to_target(runtimes)
+        assert np.all(np.diff(plot.sorted_times) >= 0.0)
+        assert plot.empirical_probability[0] == pytest.approx(0.5 / 100)
+        assert plot.empirical_probability[-1] == pytest.approx(1.0 - 0.5 / 100)
+        assert np.all((plot.theoretical_probability >= 0) & (plot.theoretical_probability <= 1))
+
+    def test_requires_two_runtimes(self):
+        with pytest.raises(ValueError):
+            time_to_target([5.0])
+
+    def test_ascii_rendering(self, rng):
+        plot = time_to_target(rng.exponential(3.0, 50))
+        art = plot.to_ascii()
+        assert "|" in art
+        assert len(art.splitlines()) > 3

@@ -1,0 +1,165 @@
+"""Instance-size extrapolation (the paper's future-work method)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import ShiftedExponential
+from repro.csp.problems import AllIntervalProblem
+from repro.scaling import InstanceScalingStudy, fit_power_law
+from repro.scaling.study import SizeObservation
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+
+
+class TestPowerLawFit:
+    def test_exact_power_law_recovered(self):
+        sizes = np.array([4, 8, 16, 32], dtype=float)
+        values = 3.0 * sizes**2.5
+        fit = fit_power_law(sizes, values)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.exponent == pytest.approx(2.5, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.is_reliable()
+        assert fit.predict(64) == pytest.approx(3.0 * 64**2.5, rel=1e-9)
+
+    def test_noisy_power_law(self, rng):
+        sizes = np.array([5, 10, 20, 40, 80], dtype=float)
+        values = 2.0 * sizes**1.8 * np.exp(rng.normal(0.0, 0.05, sizes.size))
+        fit = fit_power_law(sizes, values)
+        assert fit.exponent == pytest.approx(1.8, abs=0.15)
+        assert fit.is_reliable(threshold=0.9)
+
+    def test_zero_values_are_clamped_not_dropped(self):
+        fit = fit_power_law([2, 4, 8], [0.0, 1.0, 4.0])
+        assert np.isfinite(fit.exponent)
+        assert fit.n_points == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([0.0, 2.0], [1.0, 2.0])
+
+    def test_unreliable_with_two_points(self):
+        fit = fit_power_law([2, 4], [1.0, 3.0])
+        assert not fit.is_reliable()
+
+
+class SyntheticScalingAlgorithm(LasVegasAlgorithm):
+    """Las Vegas algorithm with a known parameter scaling law.
+
+    Runtime ~ ShiftedExponential(x0 = 2 * size, scale = 5 * size^2), so the
+    study's extrapolation can be checked against ground truth exactly.
+    """
+
+    name = "synthetic-scaling"
+
+    def __init__(self, size: int) -> None:
+        self.size = int(size)
+        self.distribution = ShiftedExponential(x0=2.0 * size, lam=1.0 / (5.0 * size**2))
+
+    def _run(self, rng: np.random.Generator) -> RunResult:
+        iterations = int(round(float(self.distribution.sample(rng))))
+        return RunResult(solved=True, iterations=iterations, runtime_seconds=0.0)
+
+
+class _SizeCarrier:
+    """Minimal problem stand-in carrying just a size and a label."""
+
+    def __init__(self, size: int) -> None:
+        self.size = int(size)
+
+    def describe(self) -> str:
+        return f"synthetic {self.size}"
+
+
+class TestInstanceScalingStudySynthetic:
+    @pytest.fixture(scope="class")
+    def study(self):
+        study = InstanceScalingStudy(
+            problem_factory=_SizeCarrier,
+            solver_factory=lambda problem: SyntheticScalingAlgorithm(problem.size),
+            family="shifted_exponential",
+            shift_rule="min",
+            n_runs=200,
+            base_seed=11,
+        )
+        study.run([6, 10, 14, 20])
+        return study
+
+    def test_family_stable_and_accepted(self, study):
+        assert study.family_is_stable()
+        assert study.accepted_everywhere()
+
+    def test_parameter_table_has_all_sizes(self, study):
+        table = study.parameter_table()
+        assert set(table) == {6, 10, 14, 20}
+        assert all("lam" in params for params in table.values())
+
+    def test_scaling_laws_recover_ground_truth(self, study):
+        shift_law, excess_law = study.scaling_laws()
+        # x0 = 2 * size (exponent 1), mean excess = 5 * size^2 (exponent 2).
+        assert shift_law.exponent == pytest.approx(1.0, abs=0.25)
+        assert excess_law.exponent == pytest.approx(2.0, abs=0.25)
+        assert excess_law.is_reliable(threshold=0.9)
+
+    def test_extrapolated_prediction_matches_true_model(self, study):
+        target = 40
+        true = ShiftedExponential(x0=2.0 * target, lam=1.0 / (5.0 * target**2))
+        prediction = study.extrapolate(target, cores=[16, 64, 256])
+        for n in (16, 64, 256):
+            assert prediction.speedup(n) == pytest.approx(true.speedup(n), rel=0.25)
+        assert prediction.family == "shifted_exponential"
+        assert "target size" in prediction.summary()
+
+    def test_extrapolation_must_go_upward(self, study):
+        with pytest.raises(ValueError):
+            study.extrapolate(10)
+
+    def test_requires_run_before_queries(self):
+        fresh = InstanceScalingStudy(
+            problem_factory=_SizeCarrier,
+            solver_factory=lambda problem: SyntheticScalingAlgorithm(problem.size),
+            n_runs=10,
+        )
+        with pytest.raises(RuntimeError):
+            fresh.scaling_laws()
+
+    def test_run_validation(self):
+        study = InstanceScalingStudy(
+            problem_factory=_SizeCarrier,
+            solver_factory=lambda problem: SyntheticScalingAlgorithm(problem.size),
+            n_runs=10,
+        )
+        with pytest.raises(ValueError):
+            study.run([8])
+        with pytest.raises(ValueError):
+            study.run([8, 8])
+        with pytest.raises(ValueError):
+            InstanceScalingStudy(problem_factory=_SizeCarrier, n_runs=1)
+
+
+class TestInstanceScalingStudySolver:
+    """A small end-to-end study on the real ALL-INTERVAL benchmark."""
+
+    def test_all_interval_study_and_validation(self):
+        study = InstanceScalingStudy(
+            problem_factory=AllIntervalProblem,
+            family="shifted_exponential",
+            shift_rule="min",
+            n_runs=30,
+            max_iterations=100_000,
+            base_seed=3,
+        )
+        results = study.run([8, 9, 10])
+        assert all(isinstance(obs, SizeObservation) for obs in results)
+        assert study.family_is_stable()
+        comparison = study.validate(12, cores=[4, 16], n_runs=30)
+        for cores in (4, 16):
+            extrapolated = comparison["extrapolated"][cores]
+            simulated = comparison["simulated"][cores]
+            assert extrapolated > 0.0
+            # The headline check: extrapolation from sizes 8-10 lands within a
+            # factor of ~3 of the simulated multi-walk at size 12.
+            assert 0.33 < extrapolated / simulated < 3.0
