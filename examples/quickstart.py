@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro import predict_speedup_curve, simulate_multiwalk_speedups
 from repro.csp.problems import CostasArrayProblem
-from repro.multiwalk.runner import run_sequential_batch
+from repro.engine import collect_batch, pick_default_backend
 from repro.solvers import AdaptiveSearch, AdaptiveSearchConfig
 
 
@@ -25,9 +25,12 @@ def main() -> None:
     problem = CostasArrayProblem(10)
     solver = AdaptiveSearch(problem, AdaptiveSearchConfig(max_iterations=200_000))
 
-    # 2. Independent sequential runs (the paper collects ~650; 150 is enough here).
-    print(f"collecting sequential runs of {solver.describe()} ...")
-    observations = run_sequential_batch(solver, n_runs=150, base_seed=42)
+    # 2. Independent runs (the paper collects ~650; 150 is enough here),
+    #    collected through the execution engine.  The process backend uses
+    #    every core; iteration counts are identical on any backend.
+    backend = pick_default_backend()
+    print(f"collecting runs of {solver.describe()} on the {backend} backend ...")
+    observations = collect_batch(solver, 150, base_seed=42, backend=backend)
     iterations = observations.values("iterations")
     print(
         f"  {observations.n_runs} runs, success rate {observations.success_rate():.0%}, "

@@ -34,6 +34,9 @@ def main() -> None:
     solver = WalkSAT(formula, WalkSATConfig(max_flips=200_000, noise=0.5))
     print(f"instance: {formula!r} (clause/variable ratio {ratio})")
 
+    # Collected through the execution engine (serial backend keeps the
+    # example dependency-free on single-core machines; pass
+    # backend="process" for a multi-core speedup with identical counts).
     observations = run_sequential_batch(solver, n_runs=120, base_seed=11)
     flips = observations.values("iterations")
     print(

@@ -19,10 +19,18 @@ It provides four layers:
     Search solver, plus additional Las Vegas algorithms (WalkSAT, randomized
     quicksort) used to demonstrate the generality of the model.
 
+``repro.engine``
+    The unified execution engine every layer launches runs through:
+    pluggable serial/thread/process backends, deterministic seed streaming,
+    first-finisher-wins cancellation, structured progress callbacks and an
+    on-disk observation cache.  A given base seed yields bit-identical
+    iteration counts on every backend.
+
 ``repro.multiwalk``
     The parallel-execution substrate: sequential batch runners, the
     simulated independent multi-walk (minimum over blocks of independent
-    runs) and a real ``multiprocessing`` based multi-walk executor.
+    runs) and a real first-finisher-wins multi-walk executor, all routed
+    through ``repro.engine``.
 
 ``repro.experiments``
     The harness regenerating every table and figure of the paper's
@@ -61,6 +69,7 @@ from repro.core.prediction import (
 )
 from repro.core.speedup import SpeedupModel
 from repro.core.fitting import FitResult, fit_distribution, select_best_fit
+from repro.engine import collect_batch, run_race
 from repro.multiwalk.observations import RuntimeObservations
 from repro.multiwalk.simulate import simulate_multiwalk_speedups
 
@@ -81,10 +90,12 @@ __all__ = [
     "TruncatedGaussian",
     "UniformRuntime",
     "WeibullRuntime",
+    "collect_batch",
     "distribution_registry",
     "fit_distribution",
     "predict_speedup_curve",
     "predict_speedup_from_distribution",
+    "run_race",
     "select_best_fit",
     "simulate_multiwalk_speedups",
     "__version__",

@@ -25,6 +25,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.prediction import predict_speedup_curve, predict_speedup_empirical
+from repro.engine.core import BACKENDS
+from repro.engine.progress import BatchProgress
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import CampaignSummary, collect_benchmark_observations
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
@@ -66,6 +68,30 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine flags shared by every run-collecting subcommand."""
+    parser.add_argument(
+        "--backend",
+        choices=tuple(BACKENDS),
+        default="serial",
+        help="execution backend for solver campaigns (default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backends (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--cache",
+        "--cache-dir",
+        dest="cache_dir",
+        type=str,
+        default=None,
+        help="directory of the on-disk observation cache (repeat campaigns are free)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lasvegas",
@@ -84,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--profile", choices=("tiny", "quick", "full"), default="quick")
     run_parser.add_argument("--runs", type=int, default=None, help="override sequential run count")
     run_parser.add_argument("--seed", type=int, default=None, help="override the base seed")
-    run_parser.add_argument("--cache-dir", type=str, default=None, help="persist solver campaigns")
+    _add_engine_arguments(run_parser)
 
     predict_parser = subparsers.add_parser(
         "predict", help="predict multi-walk speed-ups from observed runtimes"
@@ -111,7 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--profile", choices=("tiny", "quick", "full"), default="quick")
     campaign_parser.add_argument("--runs", type=int, default=None)
     campaign_parser.add_argument("--seed", type=int, default=None)
-    campaign_parser.add_argument("--cache-dir", type=str, default=None)
+    campaign_parser.add_argument("--progress", action="store_true", help="print per-run progress")
+    _add_engine_arguments(campaign_parser)
 
     return parser
 
@@ -122,7 +149,20 @@ def _command_list() -> int:
     return 0
 
 
+def _validate_engine_args(args: argparse.Namespace) -> str | None:
+    """Reject flag combinations the engine would refuse, with a CLI-style error."""
+    if args.backend == "serial" and args.workers not in (None, 1):
+        return "--workers requires a parallel backend; add --backend thread or --backend process"
+    if args.workers is not None and args.workers < 1:
+        return f"--workers must be >= 1, got {args.workers}"
+    return None
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    error = _validate_engine_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     config = _config_from_args(args)
     names = list(args.experiments)
     if names == ["all"]:
@@ -133,7 +173,12 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     observations = None
     if any(EXPERIMENTS[n][1] for n in names):
-        observations = collect_benchmark_observations(config, cache_dir=args.cache_dir)
+        observations = collect_benchmark_observations(
+            config,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+            workers=args.workers,
+        )
     for name in names:
         needs_observations = EXPERIMENTS[name][1]
         if needs_observations:
@@ -167,8 +212,29 @@ def _command_predict(args: argparse.Namespace) -> int:
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
+    error = _validate_engine_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     config = _config_from_args(args)
-    observations = collect_benchmark_observations(config, cache_dir=args.cache_dir)
+    progress = None
+    if args.progress:
+
+        def progress(event: BatchProgress) -> None:
+            status = "solved" if event.result.solved else "censored"
+            print(
+                f"  run {event.completed}/{event.total} ({event.fraction:.0%}) "
+                f"{status} after {event.result.iterations} iterations",
+                file=sys.stderr,
+            )
+
+    observations = collect_benchmark_observations(
+        config,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        workers=args.workers,
+        progress=progress,
+    )
     summary = CampaignSummary.from_observations(config, observations)
     for key, batch in observations.items():
         print(

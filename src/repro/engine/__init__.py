@@ -1,0 +1,68 @@
+"""Unified parallel execution engine for run campaigns.
+
+Every layer of this package that launches independent Las Vegas runs — the
+sequential batch collector, the multi-walk executors, the experiment
+campaign layer, the CLI and the benchmarks — routes through this subsystem
+instead of rolling its own loop or pool:
+
+* :mod:`repro.engine.seeding` — the single deterministic seed-derivation
+  primitive (``spawn_seeds``), shared so that runs are identical no matter
+  which layer or backend launches them.
+* :mod:`repro.engine.backends` — the :class:`BatchExecutor` strategy
+  interface with serial, thread-pool and spawn-context process-pool
+  implementations, all yielding results as completed and supporting
+  cancellation by closing the iterator early.
+* :mod:`repro.engine.tasks` — picklable run payloads and the shared worker
+  function.
+* :mod:`repro.engine.progress` — structured per-run progress events.
+* :mod:`repro.engine.cache` — content-addressed on-disk cache of collected
+  batches, keyed by (solver, config, problem, seed), so repeated campaigns
+  are free.
+* :mod:`repro.engine.core` — :func:`collect_batch` (backend-invariant batch
+  collection) and :func:`run_race` (first-finisher-wins with deterministic
+  tie-breaking).
+
+The engine's hard invariant: a given ``base_seed`` yields bit-identical
+iteration counts on every backend at any worker count.
+"""
+
+from repro.engine.backends import (
+    BatchExecutor,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_worker_count,
+    pick_default_backend,
+)
+from repro.engine.cache import ObservationCache, algorithm_fingerprint
+from repro.engine.core import (
+    BACKENDS,
+    RaceOutcome,
+    collect_batch,
+    resolve_backend,
+    run_race,
+)
+from repro.engine.progress import BatchProgress, ProgressCallback
+from repro.engine.seeding import spawn_seeds
+from repro.engine.tasks import RunTask, execute_run
+
+__all__ = [
+    "BACKENDS",
+    "BatchExecutor",
+    "BatchProgress",
+    "ObservationCache",
+    "ProcessBackend",
+    "ProgressCallback",
+    "RaceOutcome",
+    "RunTask",
+    "SerialBackend",
+    "ThreadBackend",
+    "algorithm_fingerprint",
+    "collect_batch",
+    "default_worker_count",
+    "execute_run",
+    "pick_default_backend",
+    "resolve_backend",
+    "run_race",
+    "spawn_seeds",
+]

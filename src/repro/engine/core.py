@@ -1,0 +1,255 @@
+"""High-level entry points of the execution engine.
+
+Two operations cover every way this package launches runs:
+
+* :func:`collect_batch` — run ``n_runs`` independent runs and assemble a
+  :class:`RuntimeObservations` batch.  The batch is *backend-invariant*:
+  seeds are derived up front from ``(base_seed, n_runs)`` alone and results
+  are reassembled by index, so a given base seed yields bit-identical
+  iteration counts on every backend at any worker count (wall-clock times,
+  of course, differ).
+* :func:`run_race` — the paper's Definition 2 protocol: launch ``n_walks``
+  walks, return as soon as the first *solved* walk completes and cancel the
+  rest.  When no walk solves within its budget the winner is the completed
+  walk with the fewest iterations, ties broken by lowest walk index so the
+  outcome is reproducible even under racy completion orders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+
+from repro.engine.backends import (
+    BatchExecutor,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.engine.cache import ObservationCache
+from repro.engine.progress import BatchProgress, ProgressCallback
+from repro.engine.seeding import spawn_seeds
+from repro.engine.tasks import RunTask, execute_run
+from repro.multiwalk.observations import RuntimeObservations
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+
+__all__ = ["BACKENDS", "RaceOutcome", "collect_batch", "resolve_backend", "run_race"]
+
+#: Registry of backend names accepted wherever a backend can be specified.
+BACKENDS: dict[str, type[BatchExecutor]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def resolve_backend(
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+) -> BatchExecutor:
+    """Turn a backend spec (name, instance or ``None``) into an executor.
+
+    ``None`` means :class:`SerialBackend`.  ``workers`` only applies when a
+    name is given; pass a configured instance to control anything else.
+    """
+    if backend is None:
+        backend = "serial"
+    if isinstance(backend, BatchExecutor):
+        if workers is not None:
+            raise ValueError("pass workers via the backend instance, not both")
+        return backend
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+    if factory is SerialBackend:
+        if workers not in (None, 1):
+            raise ValueError("the serial backend runs exactly one worker")
+        return SerialBackend()
+    return factory(workers=workers)
+
+
+def collect_batch(
+    algorithm: LasVegasAlgorithm,
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+    label: str | None = None,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    progress: ProgressCallback | None = None,
+    cache: ObservationCache | str | Path | None = None,
+) -> RuntimeObservations:
+    """Collect ``n_runs`` independent runs of ``algorithm`` as one batch.
+
+    Parameters
+    ----------
+    algorithm:
+        The Las Vegas algorithm to benchmark (picklable for ``"process"``).
+    n_runs:
+        Number of independent runs (the paper collects ~650 per benchmark).
+    base_seed:
+        Root of the deterministic seed tree; the only input (besides
+        ``n_runs``) that influences which runs are executed.
+    label:
+        Batch label; defaults to ``algorithm.describe()``.
+    backend, workers:
+        Where to run: ``"serial"`` (default), ``"thread"``, ``"process"``,
+        or a configured :class:`BatchExecutor` instance.
+    progress:
+        Optional callback receiving a :class:`BatchProgress` event per
+        completed run, in completion order.
+    cache:
+        Optional :class:`ObservationCache` (or a directory path, which
+        creates one) consulted before running and updated afterwards.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    batch_label = label or algorithm.describe()
+    # Resolve the backend before consulting the cache so that invalid
+    # backend/workers arguments fail identically on warm and cold caches.
+    executor = resolve_backend(backend, workers)
+    cache_path: Path | None = None
+    if cache is not None:
+        if not isinstance(cache, ObservationCache):
+            cache = ObservationCache(cache)
+        # Resolve the cache location once, before any run executes: an
+        # algorithm whose attributes mutate during run() would otherwise be
+        # stored under a post-run fingerprint that no fresh process (probing
+        # with a pristine object) could ever look up.
+        cache_path = cache.path_for(algorithm, n_runs, base_seed, label=batch_label)
+        if cache_path.exists():
+            load_start = time.perf_counter()
+            cached = RuntimeObservations.load(cache_path)
+            if progress is not None:
+                # One completion event (fraction 1.0) so callers driving a
+                # progress display can tell a cache hit from a silent hang.
+                last = RunResult(
+                    solved=bool(cached.solved[-1]),
+                    iterations=int(cached.iterations[-1]),
+                    runtime_seconds=float(cached.runtimes[-1]),
+                    seed=int(cached.seeds[-1]),
+                )
+                progress(
+                    BatchProgress(
+                        index=cached.n_runs - 1,
+                        completed=cached.n_runs,
+                        total=cached.n_runs,
+                        result=last,
+                        elapsed_seconds=time.perf_counter() - load_start,
+                    )
+                )
+            return cached
+
+    seeds = spawn_seeds(base_seed, n_runs)
+    payloads = [RunTask(algorithm, index, seed) for index, seed in enumerate(seeds)]
+    results: list[RunResult | None] = [None] * n_runs
+    start = time.perf_counter()
+    completed = 0
+    for index, result in executor.imap_unordered(execute_run, payloads):
+        results[index] = result
+        completed += 1
+        if progress is not None:
+            progress(
+                BatchProgress(
+                    index=index,
+                    completed=completed,
+                    total=n_runs,
+                    result=result,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            )
+    assert completed == n_runs  # every backend must deliver every run
+    batch = RuntimeObservations.from_results(batch_label, results)
+    if cache_path is not None:
+        batch.save(cache_path)
+    return batch
+
+
+@dataclasses.dataclass(frozen=True)
+class RaceOutcome:
+    """Result of one first-finisher-wins race over ``n_walks`` walks.
+
+    Attributes
+    ----------
+    n_walks:
+        Number of walks launched.
+    winner_index:
+        Batch index of the winning walk.
+    winner_result:
+        The winning walk's :class:`RunResult` (its ``runtime_seconds`` is
+        the per-walk wall clock, as opposed to the race total below).
+    wall_clock_seconds:
+        Total wall clock of the race, from launch to cancellation.
+    n_completed:
+        Walks that finished before the race was decided.
+    """
+
+    n_walks: int
+    winner_index: int
+    winner_result: RunResult
+    wall_clock_seconds: float
+    n_completed: int
+
+    @property
+    def solved(self) -> bool:
+        return self.winner_result.solved
+
+
+def run_race(
+    algorithm: LasVegasAlgorithm,
+    n_walks: int,
+    *,
+    base_seed: int = 0,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+) -> RaceOutcome:
+    """Race ``n_walks`` independent walks; the first solved walk wins.
+
+    As soon as a solved walk arrives, outstanding walks are cancelled
+    (threads: pending futures dropped; processes: pool terminated).  If
+    every walk exhausts its budget unsolved, the winner is the walk with the
+    fewest iterations, ties broken by lowest index — a deterministic rule
+    regardless of completion order.
+    """
+    if n_walks < 1:
+        raise ValueError(f"n_walks must be >= 1, got {n_walks}")
+    executor = resolve_backend(backend, workers)
+    seeds = spawn_seeds(base_seed, n_walks)
+    payloads = [RunTask(algorithm, index, seed) for index, seed in enumerate(seeds)]
+    winner: tuple[int, RunResult] | None = None
+    best_unsolved: tuple[int, RunResult] | None = None
+    n_completed = 0
+    start = time.perf_counter()
+    # chunksize=1 so no walk waits behind a queued chunk of the same worker.
+    iterator = executor.imap_unordered(execute_run, payloads, chunksize=1)
+    try:
+        for index, result in iterator:
+            n_completed += 1
+            if result.solved:
+                winner = (index, result)
+                break
+            if best_unsolved is None or (result.iterations, index) < (
+                best_unsolved[1].iterations,
+                best_unsolved[0],
+            ):
+                best_unsolved = (index, result)
+        # The race is decided here; measure before cancellation so cleanup
+        # cost (pool teardown, walks that cannot be interrupted) is not
+        # charged to the race itself.
+        elapsed = time.perf_counter() - start
+    finally:
+        iterator.close()  # cancels outstanding walks (kill-all-others)
+    if winner is None:
+        winner = best_unsolved
+    assert winner is not None  # n_walks >= 1 guarantees at least one result
+    return RaceOutcome(
+        n_walks=n_walks,
+        winner_index=winner[0],
+        winner_result=winner[1],
+        wall_clock_seconds=elapsed,
+        n_completed=n_completed,
+    )

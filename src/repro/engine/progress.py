@@ -1,0 +1,50 @@
+"""Structured progress reporting for long-running campaigns.
+
+Backends complete runs out of order, so a bare ``(index, result)`` callback
+cannot tell the consumer how far along the batch is.  :class:`BatchProgress`
+carries both the per-run payload and the batch-level counters; callbacks
+receive one event per completed run, in *completion* order (which equals
+index order only on the serial backend).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.solvers.base import RunResult
+
+__all__ = ["BatchProgress", "ProgressCallback"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchProgress:
+    """Snapshot emitted after each completed run of a batch.
+
+    Attributes
+    ----------
+    index:
+        Stable batch position of the run that just completed.
+    completed:
+        Number of runs completed so far (including this one).
+    total:
+        Total number of runs in the batch.
+    result:
+        The completed run's :class:`RunResult`.
+    elapsed_seconds:
+        Wall-clock time since the batch started.
+    """
+
+    index: int
+    completed: int
+    total: int
+    result: RunResult
+    elapsed_seconds: float
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the batch, in ``[0, 1]``."""
+        return self.completed / self.total
+
+
+ProgressCallback = Callable[[BatchProgress], None]

@@ -1,0 +1,32 @@
+"""Deterministic seed derivation shared by every layer that launches runs.
+
+Every component that fans a base seed out into per-run seeds — sequential
+batch collection, the multi-walk executors, per-algorithm campaign splitting
+— must derive them the *same* way, or moving a campaign between backends
+would silently change its runs.  This module is the single implementation:
+seeds come from :class:`numpy.random.SeedSequence` spawning, which guarantees
+statistically independent streams, and the derivation depends only on
+``(base_seed, n)`` — never on worker counts, scheduling order, or the
+execution backend.  That is the invariant that makes backend-equivalence
+(`SerialBackend` == `ThreadBackend` == `ProcessBackend`, bit for bit) hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_seeds"]
+
+
+def spawn_seeds(base_seed: int, n: int) -> list[int]:
+    """Derive ``n`` independent integer seeds from one base seed.
+
+    The result is a pure function of ``(base_seed, n)``: the i-th child seed
+    is the first state word of the i-th spawn of
+    ``SeedSequence(base_seed)``.  Appending runs extends the list without
+    perturbing earlier entries, so growing a campaign keeps its prefix.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    seq = np.random.SeedSequence(int(base_seed))
+    return [int(child.generate_state(1)[0]) for child in seq.spawn(n)]

@@ -1,0 +1,44 @@
+"""Picklable task payloads executed by the batch backends.
+
+`ProcessBackend` ships tasks to spawn-context worker processes, so both the
+payload and the function applied to it must be picklable, module-level
+objects.  :class:`RunTask` carries one independent run (algorithm, stable
+index, seed); :func:`execute_run` is the worker applied by every backend, so
+serial, threaded and process execution run byte-for-byte the same code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+
+__all__ = ["RunTask", "execute_run"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunTask:
+    """One independent run of a Las Vegas algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        The algorithm to run.  Must be picklable for :class:`ProcessBackend`
+        (every solver in this package is).
+    index:
+        Stable position of the run inside its batch.  Results are
+        reassembled by index, which is what makes out-of-order completion
+        invisible to consumers.
+    seed:
+        Pre-derived seed of the run's random stream (see
+        :mod:`repro.engine.seeding`).
+    """
+
+    algorithm: LasVegasAlgorithm
+    index: int
+    seed: int
+
+
+def execute_run(task: RunTask) -> tuple[int, RunResult]:
+    """Execute one task and return ``(index, result)``."""
+    return task.index, task.algorithm.run(task.seed)

@@ -4,8 +4,12 @@ Every solver-backed experiment (Tables 1–5, Figures 6–14) consumes the same
 raw material: a batch of independent sequential Adaptive Search runs per
 benchmark.  Collecting them is by far the most expensive step, so batches
 are cached in-process (keyed by the configuration) and can optionally be
-persisted to / reloaded from JSON files so that repeated CLI invocations
-reuse earlier campaigns.
+persisted on disk through the engine's content-addressed
+:class:`repro.engine.ObservationCache` so that repeated CLI invocations
+reuse earlier campaigns.  Execution itself is delegated to
+:func:`repro.engine.collect_batch`, which means campaigns can be collected
+on the serial, thread or process backend with bit-identical results — a
+disk-cache entry written by one backend is a valid hit for all of them.
 """
 
 from __future__ import annotations
@@ -14,13 +18,18 @@ import dataclasses
 from pathlib import Path
 from typing import Mapping
 
+from repro.engine.backends import BatchExecutor
+from repro.engine.cache import ObservationCache
+from repro.engine.core import collect_batch
+from repro.engine.progress import ProgressCallback
 from repro.experiments.config import BENCHMARK_KEYS, ExperimentConfig
 from repro.multiwalk.observations import RuntimeObservations
-from repro.multiwalk.runner import run_sequential_batch
 
 __all__ = ["collect_benchmark_observations", "clear_observation_cache"]
 
 #: In-process cache: config fingerprint -> benchmark key -> observations.
+#: Deliberately ignores the backend: the engine guarantees backend-invariant
+#: results, so a campaign collected anywhere satisfies every caller.
 _CACHE: dict[tuple, dict[str, RuntimeObservations]] = {}
 
 
@@ -41,15 +50,13 @@ def clear_observation_cache() -> None:
     _CACHE.clear()
 
 
-def _cache_file(cache_dir: Path, config: ExperimentConfig, key: str) -> Path:
-    parts = "-".join(str(p) for p in _config_fingerprint(config))
-    return cache_dir / f"observations-{key}-{parts}.json"
-
-
 def collect_benchmark_observations(
     config: ExperimentConfig,
     *,
     cache_dir: str | Path | None = None,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> Mapping[str, RuntimeObservations]:
     """Run (or reuse) the sequential campaigns for the three benchmarks.
 
@@ -59,36 +66,35 @@ def collect_benchmark_observations(
         Experiment configuration (instance sizes, run counts, seed).
     cache_dir:
         Optional directory for JSON persistence across processes.  Files are
-        keyed by the configuration fingerprint, so changing any size/seed
-        parameter triggers a fresh campaign.
+        content-addressed by (solver, config, problem, seed), so changing
+        any size/seed parameter triggers a fresh campaign.
+    backend, workers:
+        Execution backend and worker count forwarded to the engine
+        (default: serial).
+    progress:
+        Optional structured progress callback forwarded to the engine.
     """
     fingerprint = _config_fingerprint(config)
     if fingerprint in _CACHE:
         return dict(_CACHE[fingerprint])
 
-    directory = Path(cache_dir) if cache_dir is not None else None
-    if directory is not None:
-        directory.mkdir(parents=True, exist_ok=True)
+    disk_cache = ObservationCache(cache_dir) if cache_dir is not None else None
 
     benchmarks = config.benchmarks()
     observations: dict[str, RuntimeObservations] = {}
     for offset, key in enumerate(BENCHMARK_KEYS):
         spec = benchmarks[key]
-        if directory is not None:
-            path = _cache_file(directory, config, key)
-            if path.exists():
-                observations[key] = RuntimeObservations.load(path)
-                continue
         solver = spec.make_solver(config.max_iterations)
-        batch = run_sequential_batch(
+        observations[key] = collect_batch(
             solver,
             config.n_sequential_runs,
             base_seed=config.base_seed + offset,
             label=spec.label,
+            backend=backend,
+            workers=workers,
+            progress=progress,
+            cache=disk_cache,
         )
-        observations[key] = batch
-        if directory is not None:
-            batch.save(_cache_file(directory, config, key))
 
     _CACHE[fingerprint] = dict(observations)
     return observations

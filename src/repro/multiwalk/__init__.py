@@ -11,8 +11,13 @@ solution.  This package provides three ways to realise it:
   minimum.  Because an independent multi-walk involves no communication,
   this is behaviourally identical to a parallel execution and is how the
   reproduction stands in for the paper's 256-core cluster.
-* :mod:`repro.multiwalk.parallel` — a real ``multiprocessing`` executor
-  (first-finisher-wins) for modest core counts.
+* :mod:`repro.multiwalk.parallel` — a real first-finisher-wins executor
+  for modest core counts, racing walks through the execution engine
+  (:mod:`repro.engine`).
+
+All run collection is delegated to :mod:`repro.engine`, so the serial,
+thread and process backends produce bit-identical iteration counts for a
+given base seed.
 """
 
 from repro.multiwalk.observations import RuntimeObservations

@@ -6,11 +6,17 @@ Two realisations are provided:
   current process and reports the minimum cost.  In iteration count this is
   *exactly* what a parallel run would measure (the walks do not interact);
   only the wall-clock figure is an emulation.
-* :class:`MultiWalkExecutor` launches the walks as separate processes with
-  :mod:`multiprocessing` and returns as soon as the first solution arrives,
-  mirroring the kill-all-others protocol of Definition 2.  It is intended
-  for modest core counts on a real machine; the large-scale experiments use
-  the block-minimum simulation in :mod:`repro.multiwalk.simulate`.
+* :class:`MultiWalkExecutor` races the walks through the execution engine
+  (:func:`repro.engine.run_race`) and returns as soon as the first solution
+  arrives, mirroring the kill-all-others protocol of Definition 2.  It is
+  intended for modest core counts on a real machine; the large-scale
+  experiments use the block-minimum simulation in
+  :mod:`repro.multiwalk.simulate`.
+
+Both report two distinct wall-clock figures: the race/emulation total
+(``wall_clock_seconds``) and the winning walk's own duration
+(``walk_wall_clock_seconds``), which is the physically meaningful cost of a
+genuinely parallel execution.
 """
 
 from __future__ import annotations
@@ -18,10 +24,10 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing as mp
 import time
-from typing import Sequence
 
-import numpy as np
-
+from repro.engine.backends import ProcessBackend, SerialBackend
+from repro.engine.core import run_race
+from repro.engine.seeding import spawn_seeds
 from repro.solvers.base import LasVegasAlgorithm, RunResult
 
 __all__ = ["MultiWalkExecutor", "MultiwalkRunOutcome", "emulate_multiwalk"]
@@ -29,22 +35,24 @@ __all__ = ["MultiWalkExecutor", "MultiwalkRunOutcome", "emulate_multiwalk"]
 
 @dataclasses.dataclass(frozen=True)
 class MultiwalkRunOutcome:
-    """Outcome of one multi-walk execution on ``n_walks`` walks."""
+    """Outcome of one multi-walk execution on ``n_walks`` walks.
+
+    ``wall_clock_seconds`` is the duration of the whole race (launch to
+    cancellation) on whatever substrate ran it; ``walk_wall_clock_seconds``
+    is the winning walk's own duration — what an ideal parallel execution
+    with one core per walk would have measured.
+    """
 
     n_walks: int
     winner_result: RunResult
     winner_index: int
     wall_clock_seconds: float
     min_iterations: int
+    walk_wall_clock_seconds: float = float("nan")
 
     @property
     def solved(self) -> bool:
         return self.winner_result.solved
-
-
-def _spawn_seeds(base_seed: int, n: int) -> list[int]:
-    seq = np.random.SeedSequence(base_seed)
-    return [int(s.generate_state(1)[0]) for s in seq.spawn(n)]
 
 
 def emulate_multiwalk(
@@ -62,12 +70,12 @@ def emulate_multiwalk(
     if n_walks < 1:
         raise ValueError(f"n_walks must be >= 1, got {n_walks}")
     start = time.perf_counter()
-    seeds = _spawn_seeds(base_seed, n_walks)
+    seeds = spawn_seeds(base_seed, n_walks)
     results = [algorithm.run(seed) for seed in seeds]
     elapsed = time.perf_counter() - start
     solved_indices = [i for i, r in enumerate(results) if r.solved]
     candidates = solved_indices if solved_indices else range(len(results))
-    winner_index = min(candidates, key=lambda i: results[i].iterations)
+    winner_index = min(candidates, key=lambda i: (results[i].iterations, i))
     winner = results[winner_index]
     return MultiwalkRunOutcome(
         n_walks=n_walks,
@@ -75,12 +83,8 @@ def emulate_multiwalk(
         winner_index=winner_index,
         wall_clock_seconds=elapsed,
         min_iterations=int(winner.iterations),
+        walk_wall_clock_seconds=float(winner.runtime_seconds),
     )
-
-
-def _worker(payload: tuple[LasVegasAlgorithm, int, int]) -> tuple[int, RunResult]:
-    algorithm, index, seed = payload
-    return index, algorithm.run(seed)
 
 
 class MultiWalkExecutor:
@@ -96,8 +100,11 @@ class MultiWalkExecutor:
     n_processes:
         Worker processes to use; defaults to ``min(n_walks, cpu_count)``.
         When fewer processes than walks are available the remaining walks
-        are queued, which preserves correctness (the minimum over all walks
-        is still returned) at the cost of wall-clock fidelity.
+        are queued, which preserves correctness (the first solved walk still
+        wins) at the cost of wall-clock fidelity.  With ``n_processes=1``
+        the walks run serially through the same race protocol — same winner
+        semantics, same ``wall_clock_seconds`` meaning (time until the race
+        is decided), just without pool overhead.
     """
 
     def __init__(
@@ -119,32 +126,28 @@ class MultiWalkExecutor:
     def run(self, base_seed: int = 0) -> MultiwalkRunOutcome:
         """Execute one multi-walk; the first *solved* walk to finish wins.
 
-        With a single worker process the executor falls back to the
-        sequential emulation, avoiding pointless fork overhead on
-        single-core machines.
+        If no walk solves within its budget, the completed walk with the
+        fewest iterations wins, ties broken by lowest walk index (a
+        deterministic rule regardless of completion order).
         """
-        if self.n_processes == 1:
-            return emulate_multiwalk(self.algorithm, self.n_walks, base_seed=base_seed)
-        seeds = _spawn_seeds(base_seed, self.n_walks)
-        payloads = [(self.algorithm, i, seed) for i, seed in enumerate(seeds)]
-        start = time.perf_counter()
-        winner: tuple[int, RunResult] | None = None
-        with mp.get_context("spawn").Pool(processes=self.n_processes) as pool:
-            for index, result in pool.imap_unordered(_worker, payloads):
-                if result.solved:
-                    winner = (index, result)
-                    pool.terminate()
-                    break
-                if winner is None or result.iterations < winner[1].iterations:
-                    winner = (index, result)
-        elapsed = time.perf_counter() - start
-        assert winner is not None  # n_walks >= 1 guarantees at least one result
+        backend = (
+            SerialBackend()
+            if self.n_processes == 1
+            else ProcessBackend(workers=self.n_processes)
+        )
+        outcome = run_race(
+            self.algorithm,
+            self.n_walks,
+            base_seed=base_seed,
+            backend=backend,
+        )
         return MultiwalkRunOutcome(
             n_walks=self.n_walks,
-            winner_result=winner[1],
-            winner_index=winner[0],
-            wall_clock_seconds=elapsed,
-            min_iterations=int(winner[1].iterations),
+            winner_result=outcome.winner_result,
+            winner_index=outcome.winner_index,
+            wall_clock_seconds=outcome.wall_clock_seconds,
+            min_iterations=int(outcome.winner_result.iterations),
+            walk_wall_clock_seconds=float(outcome.winner_result.runtime_seconds),
         )
 
     def measure_speedup(
@@ -157,7 +160,7 @@ class MultiWalkExecutor:
         """Average wall-clock speed-up over ``n_repeats`` multi-walk executions."""
         if n_repeats < 1:
             raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
-        seeds = _spawn_seeds(base_seed, n_repeats)
+        seeds = spawn_seeds(base_seed, n_repeats)
         total = 0.0
         for seed in seeds:
             outcome = self.run(base_seed=seed)

@@ -1,28 +1,29 @@
-"""Sequential batch collection of independent runs.
+"""Batch collection of independent runs (thin shim over the engine).
 
 The paper collected roughly 650 sequential runs per benchmark on the
 Grid'5000 Griffon cluster; :func:`run_sequential_batch` is the equivalent
-driver here.  Seeds are derived deterministically from a base seed with
-:class:`numpy.random.SeedSequence` so that batches are reproducible and runs
-remain statistically independent.
+driver here.  Execution is delegated to :func:`repro.engine.collect_batch`:
+seeds are derived deterministically from a base seed with the shared
+:func:`repro.engine.seeding.spawn_seeds` primitive so batches are
+reproducible, runs remain statistically independent, and the same campaign
+can be collected serially or on the thread/process backends with
+bit-identical iteration counts.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Sequence
 
-import numpy as np
-
+from repro.engine.backends import BatchExecutor
+from repro.engine.cache import ObservationCache
+from repro.engine.core import collect_batch
+from repro.engine.progress import BatchProgress
+from repro.engine.seeding import spawn_seeds
 from repro.multiwalk.observations import RuntimeObservations
 from repro.solvers.base import LasVegasAlgorithm, RunResult
 
 __all__ = ["collect_observations", "run_sequential_batch"]
-
-
-def _spawn_seeds(base_seed: int, n_runs: int) -> list[int]:
-    """Derive ``n_runs`` independent integer seeds from one base seed."""
-    seq = np.random.SeedSequence(base_seed)
-    return [int(s.generate_state(1)[0]) for s in seq.spawn(n_runs)]
 
 
 def run_sequential_batch(
@@ -32,6 +33,9 @@ def run_sequential_batch(
     base_seed: int = 0,
     label: str | None = None,
     progress: Callable[[int, RunResult], None] | None = None,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    cache: ObservationCache | str | Path | None = None,
 ) -> RuntimeObservations:
     """Run ``algorithm`` ``n_runs`` times with independent seeds.
 
@@ -40,25 +44,39 @@ def run_sequential_batch(
     algorithm:
         The Las Vegas algorithm to benchmark.
     n_runs:
-        Number of independent sequential runs (the paper uses ~650).
+        Number of independent runs (the paper uses ~650).
     base_seed:
         Seed of the seed sequence from which per-run seeds are derived.
     label:
         Batch label; defaults to the algorithm's name.
     progress:
         Optional callback invoked after every run with ``(index, result)`` —
-        handy for long campaigns driven from the CLI.
+        handy for long campaigns driven from the CLI.  For the richer
+        structured events use :func:`repro.engine.collect_batch` directly.
+    backend, workers:
+        Execution backend (``"serial"`` by default, the historical
+        behaviour) and worker count; see :mod:`repro.engine.backends`.
+    cache:
+        Optional on-disk observation cache (or directory path); see
+        :class:`repro.engine.ObservationCache`.
     """
-    if n_runs < 1:
-        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
-    seeds = _spawn_seeds(base_seed, n_runs)
-    results: list[RunResult] = []
-    for index, seed in enumerate(seeds):
-        result = algorithm.run(seed)
-        results.append(result)
-        if progress is not None:
-            progress(index, result)
-    return RuntimeObservations.from_results(label or algorithm.describe(), results)
+    structured = None
+    if progress is not None:
+        callback = progress
+
+        def structured(event: BatchProgress) -> None:
+            callback(event.index, event.result)
+
+    return collect_batch(
+        algorithm,
+        n_runs,
+        base_seed=base_seed,
+        label=label,
+        backend=backend,
+        workers=workers,
+        progress=structured,
+        cache=cache,
+    )
 
 
 def collect_observations(
@@ -66,6 +84,9 @@ def collect_observations(
     n_runs: int,
     *,
     base_seed: int = 0,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    cache: ObservationCache | str | Path | None = None,
 ) -> dict[str, RuntimeObservations]:
     """Run a batch for each algorithm and return batches keyed by label.
 
@@ -74,11 +95,16 @@ def collect_observations(
     """
     if not algorithms:
         raise ValueError("at least one algorithm is required")
-    seq = np.random.SeedSequence(base_seed)
-    children = seq.spawn(len(algorithms))
+    child_seeds = spawn_seeds(base_seed, len(algorithms))
     batches: dict[str, RuntimeObservations] = {}
-    for algorithm, child in zip(algorithms, children):
-        child_seed = int(child.generate_state(1)[0])
-        batch = run_sequential_batch(algorithm, n_runs, base_seed=child_seed)
+    for algorithm, child_seed in zip(algorithms, child_seeds):
+        batch = run_sequential_batch(
+            algorithm,
+            n_runs,
+            base_seed=child_seed,
+            backend=backend,
+            workers=workers,
+            cache=cache,
+        )
         batches[batch.label] = batch
     return batches

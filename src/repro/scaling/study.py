@@ -164,6 +164,8 @@ class InstanceScalingStudy:
         n_runs: int = 60,
         max_iterations: int = 200_000,
         base_seed: int = 0,
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         if n_runs < 2:
             raise ValueError("a scaling study needs at least two runs per size")
@@ -178,6 +180,10 @@ class InstanceScalingStudy:
         self.n_runs = int(n_runs)
         self.max_iterations = int(max_iterations)
         self.base_seed = int(base_seed)
+        # Campaigns route through the execution engine; results are
+        # backend-invariant, so this only affects wall-clock time.
+        self.backend = backend
+        self.workers = workers
         self.size_observations: list[SizeObservation] = []
 
     # ------------------------------------------------------------------
@@ -195,6 +201,7 @@ class InstanceScalingStudy:
             batch = run_sequential_batch(
                 solver, self.n_runs, base_seed=self.base_seed + 1000 * index,
                 label=f"{problem.describe()}",
+                backend=self.backend, workers=self.workers,
             )
             values = batch.values("iterations")
             if self.family is not None:
@@ -286,6 +293,7 @@ class InstanceScalingStudy:
         batch = run_sequential_batch(
             solver, n_runs or self.n_runs, base_seed=self.base_seed + 999_983,
             label=problem.describe(),
+            backend=self.backend, workers=self.workers,
         )
         values = batch.values("iterations")
         direct_fit = fit_distribution(

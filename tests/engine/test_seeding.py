@@ -1,0 +1,42 @@
+"""The shared seed-derivation primitive (repro.engine.seeding)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.seeding import spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_matches_seed_sequence_spawning(self):
+        """The derivation is exactly SeedSequence spawning (the historical rule)."""
+        seq = np.random.SeedSequence(42)
+        reference = [int(s.generate_state(1)[0]) for s in seq.spawn(10)]
+        assert spawn_seeds(42, 10) == reference
+
+    def test_deterministic(self):
+        assert spawn_seeds(7, 25) == spawn_seeds(7, 25)
+
+    def test_base_seed_changes_everything(self):
+        a = spawn_seeds(1, 20)
+        b = spawn_seeds(2, 20)
+        assert not set(a) & set(b)
+
+    def test_prefix_stability(self):
+        """Growing a campaign extends the seed list without perturbing it."""
+        short = spawn_seeds(5, 10)
+        long = spawn_seeds(5, 50)
+        assert long[:10] == short
+
+    def test_seeds_are_distinct(self):
+        seeds = spawn_seeds(0, 1000)
+        assert len(set(seeds)) == 1000
+
+    def test_zero_runs_allowed(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_results_are_python_ints(self):
+        assert all(type(s) is int for s in spawn_seeds(3, 5))

@@ -69,11 +69,46 @@ class TestMultiWalkExecutor:
         with pytest.raises(ValueError):
             MultiWalkExecutor(SyntheticAlgorithm(), 2, n_processes=0)
 
-    def test_single_process_falls_back_to_emulation(self):
+    def test_single_process_keeps_race_semantics(self):
+        """``n_processes=1`` races serially: first solved walk (in seed order) wins.
+
+        This matches what a one-worker pool would produce, so dropping to a
+        single process no longer silently changes the meaning of either the
+        winner or ``wall_clock_seconds`` (time until the race is decided,
+        not the time to run every walk to completion).
+        """
         executor = MultiWalkExecutor(SyntheticAlgorithm(), 8, n_processes=1)
         outcome = executor.run(base_seed=5)
-        reference = emulate_multiwalk(SyntheticAlgorithm(), 8, base_seed=5)
-        assert outcome.min_iterations == reference.min_iterations
+        seq = np.random.SeedSequence(5)
+        seeds = [int(s.generate_state(1)[0]) for s in seq.spawn(8)]
+        # SyntheticAlgorithm always solves, so the very first walk wins.
+        assert outcome.winner_index == 0
+        assert outcome.min_iterations == SyntheticAlgorithm().run(seeds[0]).iterations
+
+    def test_unsolved_winner_tie_break_is_lowest_index(self):
+        """Regression: all-unsolved races pick (min iterations, min index)."""
+
+        class NeverSolves(LasVegasAlgorithm):
+            name = "never-solves"
+
+            def _run(self, rng: np.random.Generator) -> RunResult:
+                # Constant budget exhaustion: every walk ties on iterations.
+                return RunResult(solved=False, iterations=77, runtime_seconds=0.0)
+
+        executor = MultiWalkExecutor(NeverSolves(), 6, n_processes=1)
+        outcome = executor.run(base_seed=9)
+        assert not outcome.solved
+        assert outcome.winner_index == 0
+        assert outcome.min_iterations == 77
+        # The emulation applies the same deterministic tie-break.
+        emulated = emulate_multiwalk(NeverSolves(), 6, base_seed=9)
+        assert emulated.winner_index == 0
+
+    def test_per_walk_wall_clock_is_recorded(self):
+        executor = MultiWalkExecutor(SyntheticAlgorithm(), 4, n_processes=1)
+        outcome = executor.run(base_seed=2)
+        assert outcome.walk_wall_clock_seconds == outcome.winner_result.runtime_seconds
+        assert 0.0 <= outcome.walk_wall_clock_seconds <= outcome.wall_clock_seconds
 
     def test_measure_speedup_positive(self):
         executor = MultiWalkExecutor(SyntheticAlgorithm(), 4, n_processes=1)
