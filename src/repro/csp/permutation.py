@@ -11,6 +11,15 @@ candidate swap of the culprit variable in one numpy call, and for the
 per-variable error projection used to select that culprit.
 :class:`CSPPermutationAdapter` bridges the general :class:`repro.csp.model.CSP`
 model to this interface for problems whose variables form a permutation.
+
+:class:`DeltaEvaluator` is the incremental-evaluation contract: instead of
+rebuilding an ``(n, n)`` candidate batch and recomputing the full global
+error for every candidate swap (O(n^2)-O(n^3) per solver iteration), a
+delta evaluator maintains problem-specific counters attached to the current
+configuration and answers "what would each swap cost?" in O(n).  The batch
+:meth:`PermutationProblem.swap_costs` path is kept as the cross-check
+oracle and as the automatic fallback for problems without a specialised
+kernel (e.g. :class:`CSPPermutationAdapter`).
 """
 
 from __future__ import annotations
@@ -22,7 +31,110 @@ import numpy as np
 
 from repro.csp.model import CSP
 
-__all__ = ["CSPPermutationAdapter", "PermutationProblem"]
+__all__ = [
+    "CSPPermutationAdapter",
+    "DeltaEvaluator",
+    "DeltaState",
+    "PermutationProblem",
+]
+
+
+def multiset_delta(counts: np.ndarray, removed: Sequence[int], added: Sequence[int]) -> int:
+    """Change in ``sum(max(count - 1, 0))`` after a multiset update.
+
+    ``counts`` is a flat occurrence-counter array; ``removed`` / ``added``
+    are (possibly repeating) flat slot indices.  Only the *net* multiplicity
+    per slot matters because the duplicate-count contribution of a slot
+    depends on its final count alone.  Used by the commit paths of the
+    counter-based delta kernels.
+    """
+    net: dict[int, int] = {}
+    for slot in removed:
+        slot = int(slot)
+        net[slot] = net.get(slot, 0) - 1
+    for slot in added:
+        slot = int(slot)
+        net[slot] = net.get(slot, 0) + 1
+    delta = 0
+    for slot, change in net.items():
+        if change == 0:
+            continue
+        count = int(counts[slot])
+        delta += max(count + change - 1, 0) - max(count - 1, 0)
+    return delta
+
+
+class DeltaState:
+    """Mutable incremental-evaluation state bound to one configuration.
+
+    Attributes
+    ----------
+    perm:
+        The configuration the state describes.  Owned by the state: it is a
+        copy of the array passed to :meth:`DeltaEvaluator.attach` and is
+        mutated in place by :meth:`DeltaEvaluator.commit_swap`.
+    cost:
+        The *exact* (integer) global error of :attr:`perm`.  Kept as a
+        Python ``int`` so that ``float(cost)`` is bit-identical to the
+        float produced by the batched :meth:`PermutationProblem.cost_many`
+        oracle (all benchmark error functions are integer-valued).
+    """
+
+    def __init__(self, perm: np.ndarray, cost: int) -> None:
+        self.perm = perm
+        self.cost = cost
+
+
+class DeltaEvaluator(abc.ABC):
+    """Incremental (delta) evaluation of the swap neighbourhood.
+
+    Contract, for a ``state`` attached to permutation ``p`` with exact cost
+    ``c = problem.cost(p)``:
+
+    * :meth:`swap_deltas` returns an integer-valued float array ``d`` of
+      length ``size`` with ``c + d[j] == problem.cost(swap(p, i, j))``
+      *exactly* (and ``d[i] == 0``), so a solver consuming deltas takes
+      bit-identical decisions to one consuming the batched
+      :meth:`PermutationProblem.swap_costs` oracle;
+    * :meth:`commit_swap` applies one swap and updates the counters and
+      :attr:`DeltaState.cost` in O(size);
+    * :meth:`reset` rebinds the state to an arbitrary new configuration
+      (used after partial resets and restarts).
+    """
+
+    def __init__(self, problem: "PermutationProblem") -> None:
+        self.problem = problem
+        self.size = problem.size
+
+    @abc.abstractmethod
+    def attach(self, perm: np.ndarray) -> DeltaState:
+        """Build the incremental state for a configuration (copies ``perm``)."""
+
+    @abc.abstractmethod
+    def swap_deltas(self, state: DeltaState, index: int) -> np.ndarray:
+        """Cost change of swapping ``index`` with every position.
+
+        Returns a float array ``d`` of length ``size`` where
+        ``state.cost + d[j]`` is the exact global error after exchanging
+        the values at positions ``index`` and ``j`` (``d[index]`` is 0).
+        """
+
+    @abc.abstractmethod
+    def commit_swap(self, state: DeltaState, i: int, j: int) -> None:
+        """Apply the swap ``(i, j)`` to the state (perm, counters and cost)."""
+
+    def reset(self, state: DeltaState, perm: np.ndarray) -> None:
+        """Rebind the state to a new configuration (restart / partial reset)."""
+        state.__dict__.update(self.attach(perm).__dict__)
+
+    def variable_errors(self, state: DeltaState) -> np.ndarray:
+        """Per-variable errors of the attached configuration.
+
+        Must equal ``problem.variable_errors(state.perm)`` exactly; the
+        default recomputes from scratch, specialised evaluators answer from
+        their counters.
+        """
+        return self.problem.variable_errors(state.perm)
 
 
 class PermutationProblem(abc.ABC):
@@ -106,6 +218,34 @@ class PermutationProblem(abc.ABC):
         batch[columns, columns] = perm[index]
         batch[columns, index] = perm[columns]
         return np.asarray(self.cost_many(batch), dtype=float)
+
+    def delta_evaluator(self) -> DeltaEvaluator | None:
+        """Specialised O(size) incremental evaluator, or ``None``.
+
+        Problems without a delta kernel (such as
+        :class:`CSPPermutationAdapter`) have no :meth:`_make_delta_evaluator`
+        and solvers fall back to the batched :meth:`swap_costs` oracle.
+        The evaluator is built lazily, once, and memoised under
+        ``_delta_evaluator`` (which :meth:`__getstate__` excludes from
+        pickles so engine-cache fingerprints stay stable).
+        """
+        evaluator = getattr(self, "_delta_evaluator", None)
+        if evaluator is None:
+            evaluator = self._delta_evaluator = self._make_delta_evaluator()
+        return evaluator
+
+    def _make_delta_evaluator(self) -> DeltaEvaluator | None:
+        """Factory hook: build this problem's delta kernel (default: none)."""
+        return None
+
+    def __getstate__(self) -> dict:
+        # The memoised evaluator is derived state: dropping it keeps the
+        # pickled problem identical before and after a run touched it
+        # (the engine's cache key hashes pickled content) and keeps
+        # process-backend pickles small; workers rebuild it on demand.
+        state = self.__dict__.copy()
+        state.pop("_delta_evaluator", None)
+        return state
 
     def describe(self) -> str:
         """Human-readable instance label (e.g. ``"costas-array 10"``)."""

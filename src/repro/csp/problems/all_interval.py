@@ -20,9 +20,14 @@ import numpy as np
 
 from repro.csp.constraints import FunctionalAllDifferentConstraint
 from repro.csp.model import CSP, Variable
-from repro.csp.permutation import PermutationProblem
+from repro.csp.permutation import (
+    DeltaEvaluator,
+    DeltaState,
+    PermutationProblem,
+    multiset_delta,
+)
 
-__all__ = ["AllIntervalProblem"]
+__all__ = ["AllIntervalDeltaEvaluator", "AllIntervalProblem"]
 
 
 class AllIntervalProblem(PermutationProblem):
@@ -54,6 +59,9 @@ class AllIntervalProblem(PermutationProblem):
         errors[:-1] += duplicated
         errors[1:] += duplicated
         return errors
+
+    def _make_delta_evaluator(self) -> "AllIntervalDeltaEvaluator":
+        return AllIntervalDeltaEvaluator(self)
 
     # ------------------------------------------------------------------
     def interval_vector(self, perm: np.ndarray) -> np.ndarray:
@@ -91,3 +99,127 @@ class AllIntervalProblem(PermutationProblem):
                 out.append(high)
                 high -= 1
         return np.array(out, dtype=np.int64)
+
+
+class _AllIntervalState(DeltaState):
+    """Current interval vector plus an occurrence counter per interval value."""
+
+    def __init__(self, perm: np.ndarray, cost: int, diffs: np.ndarray, counts: np.ndarray) -> None:
+        super().__init__(perm, cost)
+        self.diffs = diffs  # |perm[k+1] - perm[k]| for k in 0..n-2
+        self.counts = counts  # occurrences of each interval value 0..n-1
+
+
+class AllIntervalDeltaEvaluator(DeltaEvaluator):
+    """O(1)-sized swap footprint on the interval multiset, vectorised over j.
+
+    The global error ``(n-1) - #distinct`` equals ``sum(max(count - 1, 0))``
+    over the interval-value counters, and a swap of positions ``i`` and
+    ``j`` only touches the (at most four) intervals adjacent to either
+    position.  Each candidate contributes eight counter updates (four
+    removals, four additions); the exact delta is the telescoped sum of
+    their sequential duplicate-count changes, where each entry sees the
+    counter adjusted by the *earlier* entries hitting the same interval
+    value — an 8x8 pairwise-equality correction, no sorting or hashing.
+
+    The batch oracle is cheaper below n ~ 50 (its two vector ops beat the
+    ~20 small kernel calls here); the kernel wins asymptotically and at the
+    paper's ALL-INTERVAL sizes (n in the hundreds) by an order of magnitude.
+    """
+
+    #: Signs of the eight counter updates: four removals then four additions.
+    _SIGNS = np.array([-1, -1, -1, -1, 1, 1, 1, 1], dtype=np.int64)
+
+    def __init__(self, problem: AllIntervalProblem) -> None:
+        super().__init__(problem)
+        n = self.size
+        idx = np.arange(n)
+        self._idx = idx
+        self._prev_pos = np.clip(idx - 1, 0, n - 1)
+        self._next_pos = np.clip(idx + 1, 0, n - 1)
+        self._prev_interval = np.clip(idx - 1, 0, n - 2)
+        self._own_interval = np.clip(idx, 0, n - 2)
+        self._has_prev = idx >= 1
+        self._has_next = idx <= n - 2
+        # Strictly-lower-triangular mask: entry k only sees earlier entries.
+        self._earlier = np.tril(np.ones((8, 8), dtype=np.int64), -1)
+
+    def attach(self, perm: np.ndarray) -> _AllIntervalState:
+        perm = np.array(perm, dtype=np.int64)
+        diffs = np.abs(np.diff(perm))
+        counts = np.bincount(diffs, minlength=self.size)
+        cost = int(np.maximum(counts - 1, 0).sum())
+        return _AllIntervalState(perm, cost, diffs, counts)
+
+    def _affected_positions(self, i: int, j: int) -> np.ndarray:
+        """Deduplicated valid interval positions touched by the swap."""
+        positions = {k for k in (i - 1, i, j - 1, j) if 0 <= k <= self.size - 2}
+        return np.array(sorted(positions), dtype=np.int64)
+
+    def swap_deltas(self, state: DeltaState, index: int) -> np.ndarray:
+        perm = state.perm
+        diffs = state.diffs
+        n = self.size
+        idx = self._idx
+        value_i = int(perm[index])
+        before_i = int(perm[index - 1]) if index >= 1 else 0
+        after_i = int(perm[index + 1]) if index <= n - 2 else 0
+        interval_before_i = int(diffs[index - 1]) if index >= 1 else 0
+        interval_after_i = int(diffs[index]) if index <= n - 2 else 0
+
+        # Columns 0-3: intervals vacated around `index` and the candidate;
+        # columns 4-7: the intervals created there.  An adjacent swap leaves
+        # the interval between the two positions unchanged (columns 4/5
+        # special-case it) and touches it only once (columns 2/3 masked).
+        values = np.empty((n, 8), dtype=np.int64)
+        values[:, 0] = interval_before_i
+        values[:, 1] = interval_after_i
+        values[:, 2] = diffs[self._prev_interval]
+        values[:, 3] = diffs[self._own_interval]
+        values[:, 4] = np.where(idx == index - 1, interval_before_i, np.abs(perm - before_i))
+        values[:, 5] = np.where(idx == index + 1, interval_after_i, np.abs(after_i - perm))
+        values[:, 6] = np.abs(value_i - perm[self._prev_pos])
+        values[:, 7] = np.abs(perm[self._next_pos] - value_i)
+
+        weights = np.empty((n, 8), dtype=np.int64)
+        weights[:, 0] = 1 if index >= 1 else 0
+        weights[:, 1] = 1 if index <= n - 2 else 0
+        candidate_prev = self._has_prev & (idx != index) & (idx != index + 1)
+        candidate_own = self._has_next & (idx != index - 1) & (idx != index)
+        weights[:, 2] = candidate_prev
+        weights[:, 3] = candidate_own
+        weights[:, 4] = weights[:, 0]
+        weights[:, 5] = weights[:, 1]
+        weights[:, 6] = candidate_prev
+        weights[:, 7] = candidate_own
+
+        signed = self._SIGNS * weights
+        same_value = values[:, :, None] == values[:, None, :]
+        adjustment = np.einsum("nkm,nm->nk", same_value * self._earlier, signed)
+        effective = state.counts[values] + adjustment
+        change = np.where(
+            self._SIGNS < 0,
+            -(effective >= 2).astype(np.int64),
+            (effective >= 1).astype(np.int64),
+        )
+        delta = (change * weights).sum(axis=1).astype(float)
+        delta[index] = 0.0
+        return delta
+
+    def commit_swap(self, state: DeltaState, i: int, j: int) -> None:
+        perm = state.perm
+        positions = self._affected_positions(i, j)
+        old_values = state.diffs[positions].copy()
+        perm[i], perm[j] = perm[j], perm[i]
+        new_values = np.abs(perm[positions + 1] - perm[positions])
+        state.cost += multiset_delta(state.counts, old_values, new_values)
+        np.add.at(state.counts, old_values, -1)
+        np.add.at(state.counts, new_values, 1)
+        state.diffs[positions] = new_values
+
+    def variable_errors(self, state: DeltaState) -> np.ndarray:
+        duplicated = state.counts[state.diffs] > 1
+        errors = np.zeros(self.size, dtype=float)
+        errors[:-1] += duplicated
+        errors[1:] += duplicated
+        return errors

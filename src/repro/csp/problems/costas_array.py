@@ -25,9 +25,14 @@ import numpy as np
 
 from repro.csp.constraints import FunctionalAllDifferentConstraint
 from repro.csp.model import CSP, Variable
-from repro.csp.permutation import PermutationProblem
+from repro.csp.permutation import (
+    DeltaEvaluator,
+    DeltaState,
+    PermutationProblem,
+    multiset_delta,
+)
 
-__all__ = ["CostasArrayProblem"]
+__all__ = ["CostasArrayProblem", "CostasDeltaEvaluator"]
 
 
 class CostasArrayProblem(PermutationProblem):
@@ -73,6 +78,9 @@ class CostasArrayProblem(PermutationProblem):
             errors[idx + d] += 1.0
         return errors
 
+    def _make_delta_evaluator(self) -> "CostasDeltaEvaluator":
+        return CostasDeltaEvaluator(self)
+
     # ------------------------------------------------------------------
     def displacement_table(self, perm: np.ndarray) -> dict[int, np.ndarray]:
         """Differences ``V_{i+d} - V_i`` per displacement ``d`` (diagnostics)."""
@@ -114,3 +122,163 @@ class CostasArrayProblem(PermutationProblem):
             current = (current * primitive_root) % p
             values.append(current)
         return np.array(values, dtype=np.int64)
+
+
+class _CostasState(DeltaState):
+    """Difference-triangle multiset counters plus the current differences."""
+
+    def __init__(
+        self, perm: np.ndarray, cost: int, counts: np.ndarray, diff_values: np.ndarray
+    ) -> None:
+        super().__init__(perm, cost)
+        # counts[d, value + (n-1)]: occurrences of each difference value in
+        # the displacement-d row of the difference triangle (row 0 unused).
+        self.counts = counts
+        # diff_values[p]: current difference of pair p (indexed as in the
+        # evaluator's static pair enumeration).
+        self.diff_values = diff_values
+
+
+class CostasDeltaEvaluator(DeltaEvaluator):
+    """O(n) swap footprint on the difference triangle, vectorised over j.
+
+    The global error is ``sum(max(count - 1, 0))`` over the per-displacement
+    difference counters.  Each position participates in exactly ``n - 1``
+    pairs of the triangle, so a swap touches O(n) counters; candidate deltas
+    aggregate removals and additions per ``(candidate, displacement, value)``
+    slot, which makes coincidences (two touched pairs landing on the same
+    counter) a net-multiplicity bookkeeping problem rather than a special
+    case.
+    """
+
+    def __init__(self, problem: CostasArrayProblem) -> None:
+        super().__init__(problem)
+        n = self.size
+        # Static enumeration of the n(n-1)/2 difference-triangle pairs
+        # (k, k + d), ordered by displacement then left endpoint.
+        self._pair_d = np.concatenate(
+            [np.full(n - d, d, dtype=np.int64) for d in range(1, n)]
+        )
+        self._pair_k = np.concatenate([np.arange(n - d, dtype=np.int64) for d in range(1, n)])
+        pairs_of: list[list[int]] = [[] for _ in range(n)]
+        others: list[list[int]] = [[] for _ in range(n)]
+        is_left: list[list[bool]] = [[] for _ in range(n)]
+        for pair, (d, k) in enumerate(zip(self._pair_d, self._pair_k)):
+            pairs_of[k].append(pair)
+            others[k].append(k + d)
+            is_left[k].append(True)
+            pairs_of[k + d].append(pair)
+            others[k + d].append(k)
+            is_left[k + d].append(False)
+        self._pairs_of = np.array(pairs_of, dtype=np.int64)  # (n, n-1)
+        self._others = np.array(others, dtype=np.int64)
+        self._is_left = np.array(is_left, dtype=bool)
+
+    def attach(self, perm: np.ndarray) -> _CostasState:
+        perm = np.array(perm, dtype=np.int64)
+        n = self.size
+        width = 2 * n - 1
+        diff_values = perm[self._pair_k + self._pair_d] - perm[self._pair_k]
+        counts = np.zeros((n, width), dtype=np.int64)
+        np.add.at(counts, (self._pair_d, diff_values + n - 1), 1)
+        cost = int(np.maximum(counts - 1, 0).sum())
+        return _CostasState(perm, cost, counts, diff_values)
+
+    def swap_deltas(self, state: DeltaState, index: int) -> np.ndarray:
+        perm = state.perm
+        n = self.size
+        off = n - 1
+        width = 2 * n - 1
+        slots = n * width
+        value_index = int(perm[index])
+        candidates = np.arange(n)[:, None]
+
+        # Pairs anchored at `index`: identical for every candidate, but the
+        # new difference depends on the candidate value entering `index`.
+        pairs_i = self._pairs_of[index]
+        other_i = self._others[index]
+        left_i = self._is_left[index]
+        old_i = state.diff_values[pairs_i]
+        d_i = self._pair_d[pairs_i]
+        value_other = perm[other_i]
+        value_j = perm[:, None]
+        new_i = np.where(left_i[None, :], value_other[None, :] - value_j, value_j - value_other[None, :])
+        # The pair joining `index` and the candidate has both endpoints
+        # swapped: its difference flips sign.
+        new_i = np.where(other_i[None, :] == candidates, -old_i[None, :], new_i)
+
+        # Pairs anchored at the candidate; the pair shared with `index` is
+        # already accounted for above.
+        pairs_j = self._pairs_of
+        other_j = self._others
+        old_j = state.diff_values[pairs_j]
+        d_j = self._pair_d[pairs_j]
+        new_j = np.where(self._is_left, perm[other_j] - value_index, value_index - perm[other_j])
+        keep_j = other_j != index
+
+        base_i = candidates * slots + (d_i * width + off)[None, :]
+        base_j = candidates * slots + d_j * width + off
+        keys = np.concatenate(
+            [
+                (base_i + old_i[None, :]).ravel(),
+                (base_i + new_i).ravel(),
+                (base_j + old_j)[keep_j],
+                (base_j + new_j)[keep_j],
+            ]
+        )
+        kept = int(keep_j.sum())
+        signs = np.concatenate(
+            [
+                np.full(n * (n - 1), -1.0),
+                np.full(n * (n - 1), 1.0),
+                np.full(kept, -1.0),
+                np.full(kept, 1.0),
+            ]
+        )
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        net = np.bincount(inverse, weights=signs).astype(np.int64)
+        occupancy = state.counts.ravel()[unique_keys % slots]
+        per_slot = np.maximum(occupancy + net - 1, 0) - np.maximum(occupancy - 1, 0)
+        delta = np.bincount(unique_keys // slots, weights=per_slot, minlength=n)
+        delta[index] = 0.0
+        return delta
+
+    def commit_swap(self, state: DeltaState, i: int, j: int) -> None:
+        if i == j:
+            return
+        perm = state.perm
+        n = self.size
+        off = n - 1
+        width = 2 * n - 1
+        value_i, value_j = int(perm[i]), int(perm[j])
+
+        pairs_i = self._pairs_of[i]
+        other_i = self._others[i]
+        old_i = state.diff_values[pairs_i]
+        new_i = np.where(self._is_left[i], perm[other_i] - value_j, value_j - perm[other_i])
+        new_i = np.where(other_i == j, -old_i, new_i)
+
+        keep = self._others[j] != i
+        pairs_j = self._pairs_of[j][keep]
+        other_j = self._others[j][keep]
+        old_j = state.diff_values[pairs_j]
+        new_j = np.where(self._is_left[j][keep], perm[other_j] - value_i, value_i - perm[other_j])
+
+        pairs = np.concatenate([pairs_i, pairs_j])
+        old_values = np.concatenate([old_i, old_j])
+        new_values = np.concatenate([new_i, new_j])
+        displacements = self._pair_d[pairs]
+        removed = displacements * width + old_values + off
+        added = displacements * width + new_values + off
+        state.cost += multiset_delta(state.counts.ravel(), removed, added)
+        np.add.at(state.counts, (displacements, old_values + off), -1)
+        np.add.at(state.counts, (displacements, new_values + off), 1)
+        state.diff_values[pairs] = new_values
+        perm[i], perm[j] = perm[j], perm[i]
+
+    def variable_errors(self, state: DeltaState) -> np.ndarray:
+        duplicated = state.counts[self._pair_d, state.diff_values + self.size - 1] > 1
+        n = self.size
+        return np.bincount(self._pair_k, weights=duplicated, minlength=n) + np.bincount(
+            self._pair_k + self._pair_d, weights=duplicated, minlength=n
+        )

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.csp.permutation import PermutationProblem
+from repro.csp.permutation import DeltaEvaluator, DeltaState, PermutationProblem
 
-__all__ = ["LangfordProblem"]
+__all__ = ["LangfordDeltaEvaluator", "LangfordProblem"]
 
 
 class LangfordProblem(PermutationProblem):
@@ -70,6 +70,9 @@ class LangfordProblem(PermutationProblem):
         value_errors = np.abs(gaps - targets)
         return value_errors[perm - 1].astype(float)
 
+    def _make_delta_evaluator(self) -> "LangfordDeltaEvaluator":
+        return LangfordDeltaEvaluator(self)
+
     @staticmethod
     def reference_solution(n: int) -> np.ndarray:
         """A known solution for small instances (used in tests)."""
@@ -80,3 +83,72 @@ class LangfordProblem(PermutationProblem):
         if n not in known:
             raise ValueError(f"no stored reference solution for n={n}")
         return np.array(known[n], dtype=np.int64)
+
+
+class _LangfordState(DeltaState):
+    """Partner positions and per-value gap errors of the current sequence."""
+
+    def __init__(
+        self, perm: np.ndarray, cost: int, partner: np.ndarray, value_errors: np.ndarray
+    ) -> None:
+        super().__init__(perm, cost)
+        # partner[p]: position holding the other copy of the value at p.
+        self.partner = partner
+        # value_errors[k-1] = | gap(k) - (k+1) | for each value k.
+        self.value_errors = value_errors
+
+
+class LangfordDeltaEvaluator(DeltaEvaluator):
+    """O(1) swap footprint on the pair gaps, vectorised over j.
+
+    A swap of positions holding values ``a != b`` only re-gaps those two
+    values: the copy of ``a`` moves to the candidate position (its partner
+    stays put) and vice versa.  Swapping the two copies of the same value is
+    a no-op.
+    """
+
+    def attach(self, perm: np.ndarray) -> _LangfordState:
+        perm = np.array(perm, dtype=np.int64)
+        n_values = self.size // 2
+        order = np.argsort(perm, kind="stable")
+        pair_positions = order.reshape(n_values, 2)
+        partner = np.empty(self.size, dtype=np.int64)
+        partner[pair_positions[:, 0]] = pair_positions[:, 1]
+        partner[pair_positions[:, 1]] = pair_positions[:, 0]
+        gaps = np.abs(pair_positions[:, 1] - pair_positions[:, 0])
+        targets = np.arange(1, n_values + 1) + 1
+        value_errors = np.abs(gaps - targets)
+        return _LangfordState(perm, int(value_errors.sum()), partner, value_errors)
+
+    def swap_deltas(self, state: DeltaState, index: int) -> np.ndarray:
+        perm = state.perm
+        positions = np.arange(self.size)
+        value_i = int(perm[index])
+        partner_i = int(state.partner[index])
+        error_i = int(state.value_errors[value_i - 1])
+        new_error_i = np.abs(np.abs(positions - partner_i) - (value_i + 1))
+        error_j = state.value_errors[perm - 1]
+        new_error_j = np.abs(np.abs(index - state.partner) - (perm + 1))
+        delta = (new_error_i - error_i) + (new_error_j - error_j)
+        return np.where(perm == value_i, 0, delta).astype(float)
+
+    def commit_swap(self, state: DeltaState, i: int, j: int) -> None:
+        perm = state.perm
+        value_i, value_j = int(perm[i]), int(perm[j])
+        if value_i == value_j:
+            return
+        partner_i = int(state.partner[i])
+        partner_j = int(state.partner[j])
+        new_error_i = abs(abs(j - partner_i) - (value_i + 1))
+        new_error_j = abs(abs(i - partner_j) - (value_j + 1))
+        state.cost += (new_error_i - int(state.value_errors[value_i - 1])) + (
+            new_error_j - int(state.value_errors[value_j - 1])
+        )
+        state.value_errors[value_i - 1] = new_error_i
+        state.value_errors[value_j - 1] = new_error_j
+        state.partner[j], state.partner[partner_i] = partner_i, j
+        state.partner[i], state.partner[partner_j] = partner_j, i
+        perm[i], perm[j] = perm[j], perm[i]
+
+    def variable_errors(self, state: DeltaState) -> np.ndarray:
+        return state.value_errors[state.perm - 1].astype(float)

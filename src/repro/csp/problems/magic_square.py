@@ -23,9 +23,9 @@ import numpy as np
 
 from repro.csp.constraints import LinearSumConstraint
 from repro.csp.model import CSP, Variable
-from repro.csp.permutation import PermutationProblem
+from repro.csp.permutation import DeltaEvaluator, DeltaState, PermutationProblem
 
-__all__ = ["MagicSquareProblem"]
+__all__ = ["MagicSquareDeltaEvaluator", "MagicSquareProblem"]
 
 
 class MagicSquareProblem(PermutationProblem):
@@ -69,6 +69,9 @@ class MagicSquareProblem(PermutationProblem):
         errors[idx, self.n - 1 - idx] += anti_err
         return errors.reshape(-1)
 
+    def _make_delta_evaluator(self) -> "MagicSquareDeltaEvaluator":
+        return MagicSquareDeltaEvaluator(self)
+
     # ------------------------------------------------------------------
     def as_grid(self, perm: np.ndarray) -> np.ndarray:
         """Reshape a configuration into its ``N x N`` grid."""
@@ -105,3 +108,134 @@ class MagicSquareProblem(PermutationProblem):
                 next_row, next_col = (row + 1) % n, col
             row, col = next_row, next_col
         return grid.reshape(-1)
+
+
+class _MagicSquareState(DeltaState):
+    """Running row/column/diagonal sums of the current grid."""
+
+    def __init__(
+        self,
+        perm: np.ndarray,
+        cost: int,
+        row_sums: np.ndarray,
+        col_sums: np.ndarray,
+        diag_sum: int,
+        anti_sum: int,
+    ) -> None:
+        super().__init__(perm, cost)
+        self.row_sums = row_sums
+        self.col_sums = col_sums
+        self.diag_sum = diag_sum
+        self.anti_sum = anti_sum
+
+
+class MagicSquareDeltaEvaluator(DeltaEvaluator):
+    """O(cells) swap deltas from running line sums.
+
+    A swap moves value mass ``v_j - v_i`` between two cells, so only the
+    (at most) two rows, two columns and the diagonals containing the cells
+    change; the per-candidate delta is four absolute-deviation updates.
+    """
+
+    def __init__(self, problem: MagicSquareProblem) -> None:
+        super().__init__(problem)
+        self.n = problem.n
+        self.magic = problem.magic_constant
+        cells = np.arange(self.size)
+        self._rows = cells // self.n
+        self._cols = cells % self.n
+        self._on_diag = self._rows == self._cols
+        self._on_anti = self._rows + self._cols == self.n - 1
+
+    def attach(self, perm: np.ndarray) -> _MagicSquareState:
+        perm = np.array(perm, dtype=np.int64)
+        grid = perm.reshape(self.n, self.n)
+        row_sums = grid.sum(axis=1)
+        col_sums = grid.sum(axis=0)
+        diag_sum = int(np.trace(grid))
+        anti_sum = int(np.trace(np.fliplr(grid)))
+        magic = self.magic
+        cost = int(
+            np.abs(row_sums - magic).sum()
+            + np.abs(col_sums - magic).sum()
+            + abs(diag_sum - magic)
+            + abs(anti_sum - magic)
+        )
+        return _MagicSquareState(perm, cost, row_sums, col_sums, diag_sum, anti_sum)
+
+    def swap_deltas(self, state: DeltaState, index: int) -> np.ndarray:
+        magic = self.magic
+        row_i = self._rows[index]
+        col_i = self._cols[index]
+        shift = state.perm - int(state.perm[index])  # value entering `index`, per candidate
+
+        def line_delta(sums: np.ndarray, lines: np.ndarray, line_i: int) -> np.ndarray:
+            base_i = abs(int(sums[line_i]) - magic)
+            changed = (
+                np.abs(sums[line_i] + shift - magic)
+                - base_i
+                + np.abs(sums[lines] - shift - magic)
+                - np.abs(sums[lines] - magic)
+            )
+            return np.where(lines == line_i, 0, changed)
+
+        delta = line_delta(state.row_sums, self._rows, row_i)
+        delta += line_delta(state.col_sums, self._cols, col_i)
+        diag_shift = shift * (int(self._on_diag[index]) - self._on_diag.astype(np.int64))
+        delta += np.abs(state.diag_sum + diag_shift - magic) - abs(state.diag_sum - magic)
+        anti_shift = shift * (int(self._on_anti[index]) - self._on_anti.astype(np.int64))
+        delta += np.abs(state.anti_sum + anti_shift - magic) - abs(state.anti_sum - magic)
+        delta[index] = 0
+        return delta.astype(float)
+
+    def commit_swap(self, state: DeltaState, i: int, j: int) -> None:
+        if i == j:
+            return
+        perm = state.perm
+        magic = self.magic
+        shift = int(perm[j]) - int(perm[i])
+        row_i, row_j = int(self._rows[i]), int(self._rows[j])
+        col_i, col_j = int(self._cols[i]), int(self._cols[j])
+        delta = 0
+        if row_i != row_j:
+            sum_i, sum_j = int(state.row_sums[row_i]), int(state.row_sums[row_j])
+            delta += (
+                abs(sum_i + shift - magic)
+                - abs(sum_i - magic)
+                + abs(sum_j - shift - magic)
+                - abs(sum_j - magic)
+            )
+            state.row_sums[row_i] = sum_i + shift
+            state.row_sums[row_j] = sum_j - shift
+        if col_i != col_j:
+            sum_i, sum_j = int(state.col_sums[col_i]), int(state.col_sums[col_j])
+            delta += (
+                abs(sum_i + shift - magic)
+                - abs(sum_i - magic)
+                + abs(sum_j - shift - magic)
+                - abs(sum_j - magic)
+            )
+            state.col_sums[col_i] = sum_i + shift
+            state.col_sums[col_j] = sum_j - shift
+        diag_shift = shift * (int(row_i == col_i) - int(row_j == col_j))
+        if diag_shift:
+            delta += abs(state.diag_sum + diag_shift - magic) - abs(state.diag_sum - magic)
+            state.diag_sum += diag_shift
+        anti_shift = shift * (
+            int(row_i + col_i == self.n - 1) - int(row_j + col_j == self.n - 1)
+        )
+        if anti_shift:
+            delta += abs(state.anti_sum + anti_shift - magic) - abs(state.anti_sum - magic)
+            state.anti_sum += anti_shift
+        state.cost += delta
+        perm[i], perm[j] = perm[j], perm[i]
+
+    def variable_errors(self, state: DeltaState) -> np.ndarray:
+        magic = self.magic
+        errors = np.abs(state.row_sums - magic)[self._rows] + np.abs(state.col_sums - magic)[
+            self._cols
+        ]
+        errors = errors.astype(float)
+        errors[self._on_diag] += abs(state.diag_sum - magic)
+        errors[self._on_anti] += abs(state.anti_sum - magic)
+        return errors

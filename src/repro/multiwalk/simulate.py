@@ -134,9 +134,11 @@ def simulate_multiwalk_from_observations(
     means: list[float] = []
     speedups: list[float] = []
     for n_cores in core_list:
-        if n_cores == 1:
-            minima = data
-        elif mode == "resample":
+        # One core is an ordinary block size of 1: the measurement must come
+        # from the same sampling scheme (and sample size) as every other
+        # core count, otherwise the 1-core point of a speed-up curve is
+        # estimated from a different number of simulated parallel runs.
+        if mode == "resample":
             minima = _block_minima_resample(data, n_cores, n_parallel_runs, generator)
         else:
             minima = _block_minima_partition(data, n_cores, generator)

@@ -18,6 +18,22 @@ This implementation operates on :class:`repro.csp.permutation.PermutationProblem
 instances (the encoding used by all of the paper's benchmarks), counts one
 iteration per repair step, and reports the iteration count as the
 machine-independent cost measure used throughout the evaluation.
+
+Evaluation paths
+----------------
+The repair step needs the global error of every candidate swap of the
+culprit.  Two interchangeable evaluation paths provide it:
+
+* the *incremental* path consumes a problem-specific
+  :class:`~repro.csp.permutation.DeltaEvaluator` (O(size) per iteration,
+  the reference Adaptive Search design);
+* the *batch* path rebuilds the ``(size, size)`` candidate batch and calls
+  :meth:`~repro.csp.permutation.PermutationProblem.cost_many` — the
+  cross-check oracle and the fallback for problems without a delta kernel.
+
+Both paths produce bit-identical costs and variable errors, so a given seed
+yields the same run (solved flag, iteration count, restarts, solution) on
+either; the equivalence is pinned by parametrised tests.
 """
 
 from __future__ import annotations
@@ -26,10 +42,13 @@ import dataclasses
 
 import numpy as np
 
-from repro.csp.permutation import PermutationProblem
+from repro.csp.permutation import DeltaEvaluator, PermutationProblem
 from repro.solvers.base import LasVegasAlgorithm, RunResult
 
 __all__ = ["AdaptiveSearch", "AdaptiveSearchConfig"]
+
+#: Accepted values of :attr:`AdaptiveSearchConfig.evaluation`.
+EVALUATION_MODES = ("auto", "incremental", "batch")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,6 +74,11 @@ class AdaptiveSearchConfig:
     plateau_probability:
         Probability of accepting a sideways (equal-cost) move instead of
         marking the culprit tabu.
+    evaluation:
+        Candidate-evaluation path: ``"auto"`` uses the problem's incremental
+        :class:`~repro.csp.permutation.DeltaEvaluator` when it provides one
+        and falls back to the batched oracle otherwise; ``"incremental"``
+        requires a delta kernel; ``"batch"`` forces the oracle path.
     """
 
     max_iterations: int = 100_000
@@ -63,6 +87,7 @@ class AdaptiveSearchConfig:
     reset_fraction: float = 0.25
     restart_limit: int | None = None
     plateau_probability: float = 0.1
+    evaluation: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -79,6 +104,63 @@ class AdaptiveSearchConfig:
             raise ValueError(
                 f"plateau_probability must be in [0, 1], got {self.plateau_probability}"
             )
+        if self.evaluation not in EVALUATION_MODES:
+            raise ValueError(
+                f"evaluation must be one of {EVALUATION_MODES}, got {self.evaluation!r}"
+            )
+
+
+class _BatchEvaluation:
+    """Oracle path: full re-evaluation through ``cost_many`` batches."""
+
+    def __init__(self, problem: PermutationProblem) -> None:
+        self._problem = problem
+        self.perm: np.ndarray | None = None
+        self.cost: float = 0.0
+
+    def reinit(self, perm: np.ndarray) -> None:
+        self.perm = perm
+        self.cost = self._problem.cost(perm)
+
+    def variable_errors(self) -> np.ndarray:
+        return self._problem.variable_errors(self.perm)
+
+    def swap_costs(self, index: int) -> np.ndarray:
+        return self._problem.swap_costs(self.perm, index)
+
+    def apply_swap(self, i: int, j: int, new_cost: float) -> None:
+        self.perm[i], self.perm[j] = self.perm[j], self.perm[i]
+        self.cost = new_cost
+
+
+class _IncrementalEvaluation:
+    """Delta path: O(size) kernels over counters maintained across moves."""
+
+    def __init__(self, evaluator: DeltaEvaluator) -> None:
+        self._evaluator = evaluator
+        self._state = None
+        self.cost: float = 0.0
+
+    @property
+    def perm(self) -> np.ndarray:
+        return self._state.perm
+
+    def reinit(self, perm: np.ndarray) -> None:
+        if self._state is None:
+            self._state = self._evaluator.attach(perm)
+        else:
+            self._evaluator.reset(self._state, perm)
+        self.cost = float(self._state.cost)
+
+    def variable_errors(self) -> np.ndarray:
+        return self._evaluator.variable_errors(self._state)
+
+    def swap_costs(self, index: int) -> np.ndarray:
+        return self.cost + self._evaluator.swap_deltas(self._state, index)
+
+    def apply_swap(self, i: int, j: int, new_cost: float) -> None:
+        self._evaluator.commit_swap(self._state, i, j)
+        self.cost = float(self._state.cost)
 
 
 class AdaptiveSearch(LasVegasAlgorithm):
@@ -100,6 +182,18 @@ class AdaptiveSearch(LasVegasAlgorithm):
         self.name = f"adaptive-search[{problem.describe()}]"
 
     # ------------------------------------------------------------------
+    def _evaluation_path(self) -> _BatchEvaluation | _IncrementalEvaluation:
+        mode = self.config.evaluation
+        evaluator = self.problem.delta_evaluator() if mode != "batch" else None
+        if mode == "incremental" and evaluator is None:
+            raise ValueError(
+                f"{self.problem.describe()} provides no DeltaEvaluator; "
+                "use evaluation='auto' or 'batch'"
+            )
+        if evaluator is None:
+            return _BatchEvaluation(self.problem)
+        return _IncrementalEvaluation(evaluator)
+
     def _partial_reset(self, perm: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Re-randomise a fraction of the positions (keeping a permutation)."""
         size = self.problem.size
@@ -128,8 +222,9 @@ class AdaptiveSearch(LasVegasAlgorithm):
         config = self.config
         size = problem.size
 
-        current = problem.random_configuration(rng)
-        cost = problem.cost(current)
+        path = self._evaluation_path()
+        path.reinit(problem.random_configuration(rng))
+        cost = path.cost
         tabu_until = np.zeros(size, dtype=np.int64)
 
         iterations = 0
@@ -144,25 +239,28 @@ class AdaptiveSearch(LasVegasAlgorithm):
                 config.restart_limit is not None
                 and iterations_since_restart > config.restart_limit
             ):
-                current = problem.random_configuration(rng)
-                cost = problem.cost(current)
+                path.reinit(problem.random_configuration(rng))
+                cost = path.cost
                 tabu_until[:] = 0
                 restarts += 1
                 iterations_since_restart = 0
                 continue
 
-            errors = problem.variable_errors(current)
-            active = tabu_until <= iterations
+            errors = path.variable_errors()
+            # A variable tabooed at iteration t has tabu_until = t + tenure
+            # and stays frozen for iterations t+1 .. t+tenure (exactly
+            # `tenure` of them), hence the strict comparison.
+            active = tabu_until < iterations
             if not active.any():
                 # Everything is frozen: a reset is the only way forward.
-                current = self._partial_reset(current, rng)
-                cost = problem.cost(current)
+                path.reinit(self._partial_reset(path.perm, rng))
+                cost = path.cost
                 tabu_until[:] = 0
                 continue
             masked_errors = np.where(active, errors, -np.inf)
             culprit = self._pick_argmax(masked_errors, rng)
 
-            swap_costs = problem.swap_costs(current, culprit)
+            swap_costs = path.swap_costs(culprit)
             swap_costs[culprit] = np.inf  # a no-op swap is not a move
             best_j = self._pick_argmin(swap_costs, rng)
             best_cost = float(swap_costs[best_j])
@@ -170,14 +268,14 @@ class AdaptiveSearch(LasVegasAlgorithm):
             if best_cost < cost or (
                 best_cost == cost and rng.random() < config.plateau_probability
             ):
-                current[culprit], current[best_j] = current[best_j], current[culprit]
-                cost = best_cost
+                path.apply_swap(culprit, best_j, best_cost)
+                cost = path.cost
             else:
                 tabu_until[culprit] = iterations + config.tabu_tenure
                 n_tabu = int(np.count_nonzero(tabu_until > iterations))
                 if n_tabu >= config.reset_limit:
-                    current = self._partial_reset(current, rng)
-                    cost = problem.cost(current)
+                    path.reinit(self._partial_reset(path.perm, rng))
+                    cost = path.cost
                     tabu_until[:] = 0
 
         solved = cost == 0.0
@@ -185,6 +283,6 @@ class AdaptiveSearch(LasVegasAlgorithm):
             solved=solved,
             iterations=iterations,
             runtime_seconds=0.0,  # filled in by LasVegasAlgorithm.run
-            solution=current.copy() if solved else None,
+            solution=path.perm.copy() if solved else None,
             restarts=restarts,
         )

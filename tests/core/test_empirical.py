@@ -60,6 +60,28 @@ class TestStatistics:
         mass = np.trapezoid(dist.pdf(grid), grid)
         assert mass == pytest.approx(1.0, rel=0.05)
 
+    def test_pdf_bins_are_computed_once_and_cached(self):
+        """pdf() must not re-bin the sample on every call: the edges and
+        densities are memoised on first use and reused afterwards (and not
+        built at all until pdf() is actually called)."""
+        rng = np.random.default_rng(4)
+        data = rng.exponential(5.0, 300)
+        dist = EmpiricalDistribution(data)
+        assert dist._pdf_edges is None  # construction stays histogram-free
+        first = np.asarray(dist.pdf(np.linspace(0, 30, 50)))
+        edges_after_first = dist._pdf_edges
+        assert edges_after_first is not None
+        second = np.asarray(dist.pdf(np.linspace(0, 30, 50)))
+        np.testing.assert_array_equal(first, second)
+        assert dist._pdf_edges is edges_after_first  # same cached array, no rebuild
+        np.testing.assert_array_equal(dist._pdf_edges, dist._histogram_edges())
+
+    def test_pdf_zero_outside_support_and_scalar_input(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0])
+        assert dist.pdf(-1.0) == 0.0
+        assert dist.pdf(100.0) == 0.0
+        assert isinstance(dist.pdf(2.0), float)
+
 
 class TestExpectedMinimum:
     def test_n_equal_one_is_sample_mean(self):

@@ -89,10 +89,51 @@ class TestSimulatedMultiwalk:
         bound = data.mean() / data.min()
         assert measurement.speedup(4096) <= bound * 1.0001
 
-    def test_one_core_speedup_is_one(self, rng):
-        data = rng.exponential(10.0, 100)
-        measurement = simulate_multiwalk_from_observations(data, cores=[1], rng=rng)
+    def test_one_core_speedup_is_one_for_degenerate_data(self, rng):
+        """With constant runtimes every resample mean is exact, so S(1) == 1."""
+        data = np.full(40, 7.0)
+        for mode in ("resample", "blocks"):
+            measurement = simulate_multiwalk_from_observations(
+                data, cores=[1], mode=mode, rng=rng
+            )
+            assert measurement.speedup(1) == 1.0
+
+    def test_one_core_speedup_is_approximately_one(self, rng):
+        data = rng.exponential(10.0, 200)
+        measurement = simulate_multiwalk_from_observations(
+            data, cores=[1], n_parallel_runs=2000, rng=rng
+        )
+        assert measurement.speedup(1) == pytest.approx(1.0, rel=0.1)
+
+    def test_one_core_point_honors_sampling_mode(self):
+        """The 1-core measurement must use the same sample size as every
+        other core count: `n_parallel_runs` singleton blocks in resample
+        mode, not the raw observations."""
+        data = np.random.default_rng(7).exponential(10.0, 500)
+        n_parallel_runs = 13
+        measurement = simulate_multiwalk_from_observations(
+            data,
+            cores=[1],
+            n_parallel_runs=n_parallel_runs,
+            rng=np.random.default_rng(99),
+        )
+        expected = np.random.default_rng(99).choice(
+            data, size=(n_parallel_runs, 1), replace=True
+        ).min(axis=1)
+        assert measurement.mean_parallel_cost[0] == pytest.approx(expected.mean())
+        # A raw-data mean would be a different sample size (and value) here.
+        assert measurement.mean_parallel_cost[0] != pytest.approx(data.mean(), abs=1e-12)
+
+    def test_one_core_blocks_mode_is_internally_consistent(self):
+        """In blocks mode the 1-core blocks are the (shuffled) sample itself,
+        so the measured mean equals the sequential mean exactly."""
+        data = np.random.default_rng(8).exponential(5.0, 64)
+        measurement = simulate_multiwalk_from_observations(
+            data, cores=[1, 4], mode="blocks", rng=np.random.default_rng(0)
+        )
+        assert measurement.mean_parallel_cost[0] == pytest.approx(data.mean())
         assert measurement.speedup(1) == pytest.approx(1.0)
+        assert measurement.speedup(4) >= measurement.speedup(1)
 
     def test_blocks_mode_uses_disjoint_blocks(self, rng):
         data = rng.exponential(10.0, 1000)

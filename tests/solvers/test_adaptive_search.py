@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.csp.permutation import CSPPermutationAdapter, PermutationProblem
 from repro.csp.problems import (
     AllIntervalProblem,
     CostasArrayProblem,
+    LangfordProblem,
     MagicSquareProblem,
     NQueensProblem,
 )
@@ -28,6 +30,7 @@ class TestConfigValidation:
             {"restart_limit": 0},
             {"plateau_probability": -0.1},
             {"plateau_probability": 1.5},
+            {"evaluation": "vectorised"},
         ],
     )
     def test_invalid_parameters_rejected(self, kwargs):
@@ -108,3 +111,114 @@ class TestRuntimeDistributionShape:
         iterations = np.array([solver.run(seed).iterations for seed in range(40)], dtype=float)
         iterations = np.maximum(iterations, 1.0)
         assert iterations.max() / iterations.min() > 5.0
+
+
+class _RecordingProblem(PermutationProblem):
+    """Constant-cost problem: no swap ever improves, so every iteration
+    taboos the current highest-error active variable.  Variable errors are
+    fixed and strictly decreasing, making the culprit sequence deterministic
+    and recording it through :meth:`swap_costs` (called once per repair)."""
+
+    name = "recording"
+
+    def __init__(self, n: int) -> None:
+        super().__init__(size=n)
+        self.culprits: list[int] = []
+
+    def cost_many(self, perms):
+        perms = np.asarray(perms, dtype=np.int64)
+        return np.full(perms.shape[0], 100.0)
+
+    def variable_errors(self, perm):
+        return np.arange(self.size, 0, -1, dtype=float)
+
+    def swap_costs(self, perm, index):
+        self.culprits.append(index)
+        return super().swap_costs(perm, index)
+
+
+class TestTabuTenure:
+    @pytest.mark.parametrize("tenure", [1, 3, 5])
+    def test_tabooed_variable_is_skipped_exactly_tenure_iterations(self, tenure):
+        """A variable tabooed with tenure T at iteration t is frozen for
+        iterations t+1 .. t+T (exactly T of them) and eligible again at
+        t+T+1 — regression test for the historical off-by-one where the
+        freeze lasted only T-1 iterations."""
+        problem = _RecordingProblem(tenure + 3)
+        config = AdaptiveSearchConfig(
+            max_iterations=tenure + 4,
+            tabu_tenure=tenure,
+            reset_limit=10_000,
+            plateau_probability=0.0,
+        )
+        AdaptiveSearch(problem, config).run(0)
+        culprits = problem.culprits
+        # Variable 0 has the highest error, is picked first (iteration 1)
+        # and tabooed; with > tenure+1 always-active other variables no
+        # reset intervenes before it becomes eligible again.
+        assert culprits[0] == 0
+        second = culprits.index(0, 1)
+        skipped = second - 1  # iterations 2 .. second during which 0 was frozen
+        assert skipped == tenure
+
+
+_EQUIVALENCE_PROBLEMS = [
+    pytest.param(lambda: AllIntervalProblem(10), id="all-interval-10"),
+    pytest.param(lambda: MagicSquareProblem(4), id="magic-square-4"),
+    pytest.param(lambda: CostasArrayProblem(8), id="costas-8"),
+    pytest.param(lambda: NQueensProblem(10), id="n-queens-10"),
+    pytest.param(lambda: LangfordProblem(7), id="langford-7"),
+]
+
+
+class TestEvaluationPathEquivalence:
+    """PR-2 invariant: a given seed yields bit-identical runs on the
+    incremental (delta kernel) and batch (cost_many oracle) paths."""
+
+    @pytest.mark.parametrize("problem_factory", _EQUIVALENCE_PROBLEMS)
+    def test_incremental_matches_batch_bitwise(self, problem_factory):
+        problem = problem_factory()
+        for seed in range(3):
+            results = {}
+            for mode in ("batch", "incremental"):
+                config = AdaptiveSearchConfig(max_iterations=30_000, evaluation=mode)
+                results[mode] = AdaptiveSearch(problem, config).run(seed)
+            batch, incremental = results["batch"], results["incremental"]
+            assert (batch.solved, batch.iterations, batch.restarts) == (
+                incremental.solved,
+                incremental.iterations,
+                incremental.restarts,
+            ), f"seed {seed} diverged on {problem.describe()}"
+            if batch.solved:
+                np.testing.assert_array_equal(batch.solution, incremental.solution)
+
+    def test_equivalence_holds_across_restarts_and_resets(self):
+        """Exercise the restart / partial-reset paths (state re-attachment)."""
+        problem = MagicSquareProblem(5)
+        for mode in ("batch", "incremental"):
+            config = AdaptiveSearchConfig(
+                max_iterations=2000, restart_limit=150, reset_limit=3, evaluation=mode
+            )
+            result = AdaptiveSearch(problem, config).run(11)
+            if mode == "batch":
+                reference = result
+        assert (result.solved, result.iterations, result.restarts) == (
+            reference.solved,
+            reference.iterations,
+            reference.restarts,
+        )
+
+    def test_auto_mode_falls_back_without_delta_evaluator(self):
+        direct = AllIntervalProblem(6)
+        adapter = CSPPermutationAdapter(direct.to_csp(), values=np.arange(6))
+        assert adapter.delta_evaluator() is None
+        config = AdaptiveSearchConfig(max_iterations=5000, evaluation="auto")
+        result = AdaptiveSearch(adapter, config).run(0)
+        assert result.iterations > 0  # ran on the batch fallback
+
+    def test_incremental_mode_requires_delta_evaluator(self):
+        direct = AllIntervalProblem(6)
+        adapter = CSPPermutationAdapter(direct.to_csp(), values=np.arange(6))
+        solver = AdaptiveSearch(adapter, AdaptiveSearchConfig(evaluation="incremental"))
+        with pytest.raises(ValueError, match="DeltaEvaluator"):
+            solver.run(0)
