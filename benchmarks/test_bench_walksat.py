@@ -1,0 +1,106 @@
+"""Benches for the incremental WalkSAT engine: flips/second per path.
+
+Because the incremental clause state and the batch oracle are bit-identical
+(same flip sequence for a given seed), the wall-clock ratio of the two
+collections IS the flips/second ratio.  The ISSUE-3 acceptance target is
+>= 5x flips/second on planted 3-SAT with n=250 variables at clause ratio
+4.2, enforced on demand via ``REPRO_ASSERT_SPEEDUP=1`` (mirroring the
+engine and delta-kernel gates: hosted runners are too noisy to gate
+unconditionally); the per-instance ratios are printed either way so PRs
+can track the trend.
+
+Expected shape of the numbers: the batch path pays O(k·m·w) full literal-
+matrix rebuilds per flip, the incremental path O(occurrences of the
+flipped variable); the ratio therefore grows with the clause count
+(measured on this container: ~9x at n=100, ~17x at n=250, ~30x at n=500).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.sat import random_planted_ksat
+from repro.solvers.walksat import WalkSAT, WalkSATConfig
+
+from benchmarks.conftest import print_once
+
+#: Clause-to-variable ratio of every bench instance (just under the 3-SAT
+#: phase transition at ~4.27, the heavy-tailed region the paper targets).
+RATIO = 4.2
+
+#: (instance id, n_variables, per-run flip budget, number of seeded runs).
+INSTANCES = [
+    ("3sat-100", 100, 3_000, 4),
+    ("3sat-250", 250, 2_000, 3),
+    ("3sat-500", 500, 1_000, 2),
+]
+
+
+def _make_instance(n_variables: int):
+    n_clauses = int(round(RATIO * n_variables))
+    formula, _planted = random_planted_ksat(
+        n_variables, n_clauses, rng=np.random.default_rng(n_variables)
+    )
+    return formula
+
+
+def _flips_per_second(formula, mode: str, budget: int, n_runs: int):
+    config = WalkSATConfig(max_flips=budget, evaluation=mode)
+    solver = WalkSAT(formula, config)
+    total_flips = 0
+    start = time.perf_counter()
+    for seed in range(n_runs):
+        total_flips += solver.run(seed).iterations
+    elapsed = time.perf_counter() - start
+    return total_flips, total_flips / elapsed
+
+
+@pytest.mark.benchmark(group="walksat-throughput")
+@pytest.mark.parametrize("instance", INSTANCES, ids=[spec[0] for spec in INSTANCES])
+def test_incremental_vs_batch_throughput(benchmark, instance, request):
+    label, n_variables, budget, n_runs = instance
+    formula = _make_instance(n_variables)
+    batch_flips, batch_fps = _flips_per_second(formula, "batch", budget, n_runs)
+
+    def incremental():
+        return _flips_per_second(formula, "incremental", budget, n_runs)
+
+    incremental_flips, incremental_fps = benchmark.pedantic(
+        incremental, rounds=1, iterations=1, warmup_rounds=0
+    )
+    # Bit-identical flip sequences: same total work on both paths.
+    assert incremental_flips == batch_flips
+    print_once(
+        request,
+        f"walksat-throughput[{label}]: incremental {incremental_fps:,.0f} flips/s "
+        f"vs batch {batch_fps:,.0f} flips/s -> {incremental_fps / batch_fps:.2f}x",
+    )
+
+
+@pytest.mark.benchmark(group="walksat-speedup")
+def test_3sat250_incremental_speedup_gate(benchmark):
+    """ISSUE-3 acceptance: >= 5x flips/second on planted 3-SAT n=250 @ 4.2.
+
+    Asserted only under ``REPRO_ASSERT_SPEEDUP=1`` (timing gates are
+    meaningless on noisy shared runners); the ratio is printed always.
+    """
+    formula = _make_instance(250)
+    budget, n_runs = 2_000, 4
+    batch_flips, batch_fps = _flips_per_second(formula, "batch", budget, n_runs)
+
+    def incremental():
+        return _flips_per_second(formula, "incremental", budget, n_runs)
+
+    incremental_flips, incremental_fps = benchmark.pedantic(
+        incremental, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert incremental_flips == batch_flips
+    ratio = incremental_fps / batch_fps
+    print(f"\n3sat-250 incremental-vs-batch: {ratio:.2f}x ({incremental_fps:,.0f} flips/s)")
+    if os.environ.get("REPRO_ASSERT_SPEEDUP") == "1":
+        assert ratio >= 5.0, (
+            f"incremental clause state should be >= 5x the batch path on "
+            f"planted 3-SAT n=250 @ {RATIO}, got {ratio:.2f}x"
+        )

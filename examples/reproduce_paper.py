@@ -13,8 +13,13 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.experiments import ExperimentConfig, collect_benchmark_observations
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments import ExperimentConfig
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    OBSERVATION_KINDS,
+    collect_observations_for,
+    run_experiment,
+)
 
 
 def main() -> None:
@@ -34,13 +39,15 @@ def main() -> None:
           f"Costas {config.costas_n}, {config.n_sequential_runs} sequential runs)")
 
     start = time.perf_counter()
-    observations = collect_benchmark_observations(config, cache_dir=args.cache_dir)
+    campaigns = {
+        kind: collect_observations_for(kind, config, cache_dir=args.cache_dir)
+        for kind in OBSERVATION_KINDS
+    }
     print(f"sequential campaigns collected in {time.perf_counter() - start:.1f}s\n")
 
-    for name in EXPERIMENTS:
-        needs_observations = EXPERIMENTS[name][1]
-        if needs_observations:
-            result = run_experiment(name, config, observations=observations)
+    for name, entry in EXPERIMENTS.items():
+        if entry.observations is not None:
+            result = run_experiment(name, config, observations=campaigns[entry.observations])
         else:
             result = run_experiment(name, config)
         print(result.format())

@@ -4,43 +4,69 @@ The paper's conclusion proposes extending the prediction model to SAT
 solvers, where independent multi-walk parallelism is known as an *algorithm
 portfolio*.  This example:
 
-1. generates a satisfiable random 3-SAT instance near the hard region;
-2. collects sequential WalkSAT runs (flips = iterations);
+1. generates a satisfiable planted 3-SAT instance near the hard region;
+2. collects sequential WalkSAT runs through the execution engine
+   (flips = iterations; the incremental clause state makes each run
+   ~10-30x faster than full re-evaluation);
 3. predicts the portfolio speed-up with both the parametric fit and the
    nonparametric empirical predictor;
-4. validates the prediction against a simulated portfolio and against a real
-   (process-based) portfolio for a small number of cores.
+4. validates the prediction against a simulated portfolio and against a
+   real engine race (`repro.engine.run_race`) for a small number of cores.
 
-Run with:  python examples/sat_portfolio.py
+The same workload is registered in the experiment registry: try
+``repro-lasvegas run sat_flips sat_portfolio`` or
+``repro-lasvegas campaign`` for the cached CLI equivalent.
+
+Run with:  python examples/sat_portfolio.py [--backend serial|thread|process]
 """
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
 from repro.core.prediction import predict_speedup_curve, predict_speedup_empirical
-from repro.multiwalk.parallel import emulate_multiwalk
-from repro.multiwalk.runner import run_sequential_batch
+from repro.engine import collect_batch, run_race
 from repro.multiwalk.simulate import simulate_multiwalk_speedups
 from repro.sat import random_planted_ksat
 from repro.solvers import WalkSAT, WalkSATConfig
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="engine backend for the sequential campaign and the race "
+        "(flip counts are bit-identical on every backend)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="observation-cache directory (repeat runs are free)"
+    )
+    args = parser.parse_args()
+
     rng = np.random.default_rng(7)
     n_variables = 60
-    ratio = 4.0  # clause/variable ratio; 4.27 is the 3-SAT phase transition
+    ratio = 4.2  # clause/variable ratio; 4.27 is the 3-SAT phase transition
     formula, _planted = random_planted_ksat(n_variables, int(ratio * n_variables), rng=rng)
     solver = WalkSAT(formula, WalkSATConfig(max_flips=200_000, noise=0.5))
     print(f"instance: {formula!r} (clause/variable ratio {ratio})")
 
-    # Collected through the execution engine (serial backend keeps the
-    # example dependency-free on single-core machines; pass
-    # backend="process" for a multi-core speedup with identical counts).
-    observations = run_sequential_batch(solver, n_runs=120, base_seed=11)
+    # Collected through the unified execution engine: any backend, same
+    # counts, optional content-addressed disk cache.
+    observations = collect_batch(
+        solver,
+        n_runs=120,
+        base_seed=11,
+        backend=args.backend,
+        cache=args.cache_dir,
+    )
     flips = observations.values("iterations")
     print(
-        f"sequential WalkSAT: success {observations.success_rate():.0%}, "
+        f"sequential WalkSAT ({args.backend} backend): "
+        f"success {observations.success_rate():.0%}, "
         f"flips min/mean/max = {flips.min():.0f}/{flips.mean():.0f}/{flips.max():.0f}"
     )
 
@@ -58,12 +84,14 @@ def main() -> None:
         )
     print(f"\nparametric fit: {parametric.fit.summary()}")
 
-    # A genuinely executed (not simulated) small portfolio for a sanity check.
+    # A genuinely executed (not simulated) portfolio: the engine's
+    # first-finisher-wins race over independent walks.
     portfolio_size = 8
-    outcome = emulate_multiwalk(solver, portfolio_size, base_seed=99)
+    outcome = run_race(solver, portfolio_size, base_seed=99, backend=args.backend)
     print(
-        f"\nreal {portfolio_size}-walk portfolio: winner solved={outcome.solved}, "
-        f"min flips={outcome.min_iterations} "
+        f"\nreal {portfolio_size}-walk portfolio ({args.backend}): "
+        f"winner solved={outcome.solved}, "
+        f"min flips={outcome.winner_result.iterations} "
         f"(sequential mean was {flips.mean():.0f})"
     )
 

@@ -19,6 +19,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -28,8 +29,14 @@ from repro.core.prediction import predict_speedup_curve, predict_speedup_empiric
 from repro.engine.core import BACKENDS
 from repro.engine.progress import BatchProgress
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import CampaignSummary, collect_benchmark_observations
-from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments.data import CampaignSummary
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    OBSERVATION_KINDS,
+    collect_observations_for,
+    list_experiments,
+    run_experiment,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -41,31 +48,14 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         "tiny": ExperimentConfig.tiny,
     }
     config = profiles[args.profile]()
+    overrides = {}
     if getattr(args, "runs", None):
-        config = ExperimentConfig(
-            magic_square_n=config.magic_square_n,
-            all_interval_n=config.all_interval_n,
-            costas_n=config.costas_n,
-            n_sequential_runs=args.runs,
-            n_parallel_runs=config.n_parallel_runs,
-            cores=config.cores,
-            extended_cores=config.extended_cores,
-            max_iterations=config.max_iterations,
-            base_seed=config.base_seed if args.seed is None else args.seed,
-        )
-    elif getattr(args, "seed", None) is not None:
-        config = ExperimentConfig(
-            magic_square_n=config.magic_square_n,
-            all_interval_n=config.all_interval_n,
-            costas_n=config.costas_n,
-            n_sequential_runs=config.n_sequential_runs,
-            n_parallel_runs=config.n_parallel_runs,
-            cores=config.cores,
-            extended_cores=config.extended_cores,
-            max_iterations=config.max_iterations,
-            base_seed=args.seed,
-        )
-    return config
+        overrides["n_sequential_runs"] = args.runs
+    if getattr(args, "seed", None) is not None:
+        overrides["base_seed"] = args.seed
+    # dataclasses.replace keeps every other profile field (instance sizes,
+    # SAT workload parameters, core counts) exactly as the profile set it.
+    return dataclasses.replace(config, **overrides) if overrides else config
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -171,18 +161,21 @@ def _command_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
-    observations = None
-    if any(EXPERIMENTS[n][1] for n in names):
-        observations = collect_benchmark_observations(
-            config,
-            cache_dir=args.cache_dir,
-            backend=args.backend,
-            workers=args.workers,
-        )
+    # Collect each observation campaign at most once, with the engine flags.
+    campaigns: dict[str, object] = {}
+    for kind in OBSERVATION_KINDS:
+        if any(EXPERIMENTS[n].observations == kind for n in names):
+            campaigns[kind] = collect_observations_for(
+                kind,
+                config,
+                cache_dir=args.cache_dir,
+                backend=args.backend,
+                workers=args.workers,
+            )
     for name in names:
-        needs_observations = EXPERIMENTS[name][1]
-        if needs_observations:
-            result = run_experiment(name, config, observations=observations)
+        kind = EXPERIMENTS[name].observations
+        if kind is not None:
+            result = run_experiment(name, config, observations=campaigns[kind])
         else:
             result = run_experiment(name, config)
         print(result.format())
@@ -228,13 +221,20 @@ def _command_campaign(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    observations = collect_benchmark_observations(
-        config,
-        cache_dir=args.cache_dir,
-        backend=args.backend,
-        workers=args.workers,
-        progress=progress,
-    )
+    # Every observation kind rides the same engine/cache plumbing — one
+    # campaign command warms every solver-backed experiment (CSP + SAT).
+    observations: dict = {}
+    for kind in OBSERVATION_KINDS:
+        observations.update(
+            collect_observations_for(
+                kind,
+                config,
+                cache_dir=args.cache_dir,
+                backend=args.backend,
+                workers=args.workers,
+                progress=progress,
+            )
+        )
     summary = CampaignSummary.from_observations(config, observations)
     for key, batch in observations.items():
         print(

@@ -20,6 +20,12 @@ configuration and answers "what would each swap cost?" in O(n).  The batch
 :meth:`PermutationProblem.swap_costs` path is kept as the cross-check
 oracle and as the automatic fallback for problems without a specialised
 kernel (e.g. :class:`CSPPermutationAdapter`).
+
+The attach/commit/reset lifecycle is the permutation instantiation of the
+generic :class:`repro.evaluation.IncrementalEvaluator` contract — the SAT
+clause state (:mod:`repro.sat.incremental`) is the other instantiation, and
+the solvers select between incremental and batch paths through the shared
+:mod:`repro.evaluation` plumbing.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.csp.model import CSP
+from repro.evaluation import IncrementalEvaluator, IncrementalState
 
 __all__ = [
     "CSPPermutationAdapter",
@@ -64,7 +71,7 @@ def multiset_delta(counts: np.ndarray, removed: Sequence[int], added: Sequence[i
     return delta
 
 
-class DeltaState:
+class DeltaState(IncrementalState):
     """Mutable incremental-evaluation state bound to one configuration.
 
     Attributes
@@ -85,7 +92,7 @@ class DeltaState:
         self.cost = cost
 
 
-class DeltaEvaluator(abc.ABC):
+class DeltaEvaluator(IncrementalEvaluator):
     """Incremental (delta) evaluation of the swap neighbourhood.
 
     Contract, for a ``state`` attached to permutation ``p`` with exact cost
@@ -123,10 +130,6 @@ class DeltaEvaluator(abc.ABC):
     def commit_swap(self, state: DeltaState, i: int, j: int) -> None:
         """Apply the swap ``(i, j)`` to the state (perm, counters and cost)."""
 
-    def reset(self, state: DeltaState, perm: np.ndarray) -> None:
-        """Rebind the state to a new configuration (restart / partial reset)."""
-        state.__dict__.update(self.attach(perm).__dict__)
-
     def variable_errors(self, state: DeltaState) -> np.ndarray:
         """Per-variable errors of the attached configuration.
 
@@ -147,6 +150,13 @@ class PermutationProblem(abc.ABC):
 
     #: Problem family name (e.g. ``"all-interval"``).
     name: str = "permutation-problem"
+
+    #: Smallest instance size at which the delta kernel beats the batched
+    #: cost function, as measured by ``benchmarks/test_bench_delta.py``.
+    #: ``None`` means the kernel wins at every size.  Solvers in
+    #: ``evaluation="auto"`` mode fall back to the batch path below this
+    #: size — a pure speed decision, both paths being bit-identical.
+    incremental_min_size: int | None = None
 
     def __init__(self, size: int, values: np.ndarray | None = None) -> None:
         if size < 2:

@@ -35,6 +35,11 @@ class AllIntervalProblem(PermutationProblem):
 
     name = "all-interval"
 
+    #: Measured batch/incremental crossover (benchmarks/test_bench_delta.py):
+    #: the two-numpy-call batch cost function wins on call overhead below
+    #: n ≈ 96; ``evaluation="auto"`` picks the batch path under that size.
+    incremental_min_size = 96
+
     def __init__(self, n: int) -> None:
         if n < 3:
             raise ValueError(f"the ALL-INTERVAL series needs n >= 3, got {n}")

@@ -18,14 +18,22 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Mapping
 
+import numpy as np
+
 from repro.csp.permutation import PermutationProblem
 from repro.csp.problems import AllIntervalProblem, CostasArrayProblem, MagicSquareProblem
+from repro.sat.cnf import CNFFormula
+from repro.sat.generators import random_planted_ksat
 from repro.solvers.adaptive_search import AdaptiveSearch, AdaptiveSearchConfig
+from repro.solvers.walksat import WalkSAT, WalkSATConfig
 
-__all__ = ["BENCHMARK_KEYS", "BenchmarkSpec", "ExperimentConfig"]
+__all__ = ["BENCHMARK_KEYS", "BenchmarkSpec", "ExperimentConfig", "SAT_KEY", "SATBenchmarkSpec"]
 
 #: Order in which the three benchmarks appear in every paper table.
 BENCHMARK_KEYS: tuple[str, ...] = ("MS", "AI", "Costas")
+
+#: Key of the SAT workload (the paper-conclusion extension) in campaign maps.
+SAT_KEY: str = "SAT"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +53,29 @@ class BenchmarkSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class SATBenchmarkSpec:
+    """The SAT workload row: planted k-SAT instance plus its display label.
+
+    Mirrors :class:`BenchmarkSpec` for the WalkSAT extension the paper's
+    conclusion proposes; the formula factory is deterministic in the
+    experiment seed, so repeated campaigns hit the engine's
+    content-addressed observation cache.
+    """
+
+    key: str
+    label: str
+    formula_factory: Callable[[], CNFFormula]
+    noise: float = 0.5
+
+    def make_solver(self, max_flips: int) -> WalkSAT:
+        """Instantiate the WalkSAT solver for this instance."""
+        return WalkSAT(
+            self.formula_factory(),
+            WalkSATConfig(max_flips=max_flips, noise=self.noise),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class ExperimentConfig:
     """Knobs shared by every experiment.
 
@@ -52,6 +83,11 @@ class ExperimentConfig:
     ----------
     magic_square_n, all_interval_n, costas_n:
         Instance sizes of the three benchmarks (the paper uses 200, 700, 21).
+    sat_n_variables, sat_clause_ratio, sat_k:
+        Planted random k-SAT instance of the WalkSAT workload (the SAT
+        extension the paper's conclusion proposes); the default ratio 4.2
+        sits just under the 3-SAT phase transition (~4.27), where runtimes
+        are heavy-tailed.
     n_sequential_runs:
         Independent sequential runs collected per benchmark (paper: ~650).
     n_parallel_runs:
@@ -69,6 +105,9 @@ class ExperimentConfig:
     magic_square_n: int = 4
     all_interval_n: int = 12
     costas_n: int = 10
+    sat_n_variables: int = 50
+    sat_clause_ratio: float = 4.2
+    sat_k: int = 3
     n_sequential_runs: int = 80
     n_parallel_runs: int = 50
     cores: tuple[int, ...] = (16, 32, 64, 128, 256)
@@ -85,6 +124,14 @@ class ExperimentConfig:
             raise ValueError(f"core counts must be positive, got {self.cores}")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be positive")
+        if self.sat_k < 1:
+            raise ValueError(f"sat_k must be >= 1, got {self.sat_k}")
+        if self.sat_n_variables < self.sat_k:
+            raise ValueError(
+                f"sat_n_variables must be >= sat_k={self.sat_k}, got {self.sat_n_variables}"
+            )
+        if self.sat_clause_ratio <= 0.0:
+            raise ValueError(f"sat_clause_ratio must be positive, got {self.sat_clause_ratio}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -99,6 +146,7 @@ class ExperimentConfig:
             magic_square_n=5,
             all_interval_n=16,
             costas_n=12,
+            sat_n_variables=100,
             n_sequential_runs=400,
             n_parallel_runs=50,
             max_iterations=2_000_000,
@@ -111,6 +159,7 @@ class ExperimentConfig:
             magic_square_n=3,
             all_interval_n=8,
             costas_n=7,
+            sat_n_variables=25,
             n_sequential_runs=30,
             n_parallel_runs=20,
             cores=(4, 16, 64),
@@ -141,6 +190,30 @@ class ExperimentConfig:
                 problem_factory=lambda: CostasArrayProblem(costas_n),
             ),
         }
+
+    def sat_benchmark(self) -> SATBenchmarkSpec:
+        """The planted 3-SAT WalkSAT workload at this configuration's size.
+
+        The instance is drawn deterministically from the configuration's
+        seed (independent of the per-run seed streams), so two invocations
+        with the same configuration solve the *same* formula — which is
+        what makes SAT campaigns cacheable by content address.
+        """
+        n = self.sat_n_variables
+        n_clauses = max(1, int(round(self.sat_clause_ratio * n)))
+        k = self.sat_k
+        instance_seed = (self.base_seed, 0x5A7)  # distinct root: instance, not runs
+
+        def formula_factory() -> CNFFormula:
+            rng = np.random.default_rng(instance_seed)
+            formula, _planted = random_planted_ksat(n, n_clauses, k, rng=rng)
+            return formula
+
+        return SATBenchmarkSpec(
+            key=SAT_KEY,
+            label=f"{k}-SAT {n}@{self.sat_clause_ratio:g}",
+            formula_factory=formula_factory,
+        )
 
     #: Distribution family the paper fits to each benchmark (Section 6).
     PAPER_FAMILIES: Mapping[str, str] = dataclasses.field(

@@ -22,20 +22,27 @@ from repro.engine.backends import BatchExecutor
 from repro.engine.cache import ObservationCache
 from repro.engine.core import collect_batch
 from repro.engine.progress import ProgressCallback
-from repro.experiments.config import BENCHMARK_KEYS, ExperimentConfig
+from repro.experiments.config import BENCHMARK_KEYS, SAT_KEY, ExperimentConfig
 from repro.multiwalk.observations import RuntimeObservations
 
-__all__ = ["collect_benchmark_observations", "clear_observation_cache"]
+__all__ = [
+    "collect_benchmark_observations",
+    "collect_sat_observations",
+    "clear_observation_cache",
+]
 
-#: In-process cache: config fingerprint -> benchmark key -> observations.
-#: Deliberately ignores the backend: the engine guarantees backend-invariant
-#: results, so a campaign collected anywhere satisfies every caller.
+#: In-process cache: (campaign kind, config fingerprint) -> key -> batch.
+#: One dict for every observation kind, so adding a kind cannot forget the
+#: cache-clearing path.  Deliberately ignores the backend: the engine
+#: guarantees backend-invariant results, so a campaign collected anywhere
+#: satisfies every caller.
 _CACHE: dict[tuple, dict[str, RuntimeObservations]] = {}
 
 
 def _config_fingerprint(config: ExperimentConfig) -> tuple:
-    """Hashable identity of the parts of the config that affect the runs."""
+    """Hashable identity of the config parts that affect the CSP campaigns."""
     return (
+        "benchmarks",
         config.magic_square_n,
         config.all_interval_n,
         config.costas_n,
@@ -45,8 +52,21 @@ def _config_fingerprint(config: ExperimentConfig) -> tuple:
     )
 
 
+def _sat_fingerprint(config: ExperimentConfig) -> tuple:
+    """Hashable identity of the config parts that affect the SAT campaign."""
+    return (
+        "sat",
+        config.sat_n_variables,
+        config.sat_clause_ratio,
+        config.sat_k,
+        config.n_sequential_runs,
+        config.max_iterations,
+        config.base_seed,
+    )
+
+
 def clear_observation_cache() -> None:
-    """Drop all cached campaigns (mostly useful in tests)."""
+    """Drop all cached campaigns, of every kind (mostly useful in tests)."""
     _CACHE.clear()
 
 
@@ -98,6 +118,47 @@ def collect_benchmark_observations(
 
     _CACHE[fingerprint] = dict(observations)
     return observations
+
+
+def collect_sat_observations(
+    config: ExperimentConfig,
+    *,
+    cache_dir: str | Path | None = None,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> Mapping[str, RuntimeObservations]:
+    """Run (or reuse) the sequential WalkSAT campaign on the planted 3-SAT instance.
+
+    Same contract as :func:`collect_benchmark_observations` — engine-routed
+    execution on any backend with bit-identical flip counts, in-process
+    memoisation per configuration, and optional content-addressed disk
+    persistence — for the SAT workload the paper's conclusion proposes.
+    Returns a single-entry mapping keyed by
+    :data:`~repro.experiments.config.SAT_KEY` so SAT campaigns compose with
+    the benchmark ones.
+    """
+    fingerprint = _sat_fingerprint(config)
+    if fingerprint in _CACHE:
+        return dict(_CACHE[fingerprint])
+
+    disk_cache = ObservationCache(cache_dir) if cache_dir is not None else None
+    spec = config.sat_benchmark()
+    solver = spec.make_solver(config.max_iterations)
+    observations = collect_batch(
+        solver,
+        config.n_sequential_runs,
+        # Offset past the three CSP benchmarks' seed roots (base_seed + 0..2).
+        base_seed=config.base_seed + len(BENCHMARK_KEYS),
+        label=spec.label,
+        backend=backend,
+        workers=workers,
+        progress=progress,
+        cache=disk_cache,
+    )
+
+    _CACHE[fingerprint] = {SAT_KEY: observations}
+    return {SAT_KEY: observations}
 
 
 @dataclasses.dataclass(frozen=True)

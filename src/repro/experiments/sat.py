@@ -1,0 +1,145 @@
+"""SAT (WalkSAT portfolio) experiments — the paper-conclusion extension.
+
+The paper closes by proposing to apply its parallel-runtime prediction
+model to SAT solvers, where independent multi-walk parallelism is the
+*algorithm portfolio* of the SAT community.  These experiments exercise
+that claim with the same machinery as Tables 1–5: a sequential WalkSAT
+campaign on a planted 3-SAT instance near the phase transition (flips play
+the role of iterations), the simulated multi-walk as the measured speed-up,
+and both the parametric and the nonparametric predictors.
+
+Registered as ``sat_flips`` and ``sat_portfolio`` in the experiment
+registry, so they are available through ``repro-lasvegas run`` / ``list``
+and share the engine's observation cache with the ``campaign`` subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.prediction import (
+    PredictionResult,
+    predict_speedup_curve,
+    predict_speedup_empirical,
+)
+from repro.experiments.config import SAT_KEY, ExperimentConfig
+from repro.experiments.data import collect_sat_observations
+from repro.experiments.report import format_table
+from repro.multiwalk.observations import RuntimeObservations
+from repro.multiwalk.simulate import MultiwalkMeasurement, simulate_multiwalk_speedups
+from repro.stats.descriptive import RuntimeSummary, summarize
+
+__all__ = [
+    "SATPortfolioTable",
+    "SATSequentialTable",
+    "sat_flips_table",
+    "sat_portfolio_table",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SATSequentialTable:
+    """Sequential WalkSAT flip statistics (the SAT analogue of Table 2)."""
+
+    label: str
+    summary: RuntimeSummary
+    success_rate: float
+
+    def rows(self) -> list[list[object]]:
+        s = self.summary
+        return [[self.label, s.minimum, s.mean, s.median, s.maximum]]
+
+    def format(self) -> str:
+        body = format_table(
+            ["Instance", "Min", "Mean", "Median", "Max"],
+            self.rows(),
+            title="SAT. Sequential WalkSAT flips (planted 3-SAT)",
+            float_format="{:,.0f}",
+        )
+        return body + (
+            f"\n{self.summary.n_runs} solved runs, success rate {self.success_rate:.0%}"
+        )
+
+
+def sat_flips_table(
+    config: ExperimentConfig | None = None,
+    observations: Mapping[str, RuntimeObservations] | None = None,
+) -> SATSequentialTable:
+    """Min/mean/median/max of the sequential WalkSAT flip counts."""
+    config = config or ExperimentConfig.quick()
+    observations = observations or collect_sat_observations(config)
+    batch = observations[SAT_KEY]
+    return SATSequentialTable(
+        label=batch.label,
+        summary=summarize(batch.values("iterations")),
+        success_rate=batch.success_rate(),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SATPortfolioTable:
+    """Measured vs predicted WalkSAT portfolio speed-ups (the SAT Table 5)."""
+
+    label: str
+    cores: tuple[int, ...]
+    measured: MultiwalkMeasurement
+    parametric: PredictionResult
+    empirical: PredictionResult
+
+    def relative_error(self, n_cores: int) -> float:
+        """|parametric - measured| / measured at one core count."""
+        measured = self.measured.speedup(n_cores)
+        if measured == 0.0:
+            return float("inf")
+        return abs(self.parametric.speedup(n_cores) - measured) / measured
+
+    def rows(self) -> list[list[object]]:
+        out: list[list[object]] = []
+        for series, source in (
+            ("measured", self.measured),
+            ("parametric", self.parametric),
+            ("empirical", self.empirical),
+        ):
+            row: list[object] = [self.label if series == "measured" else "", series]
+            row.extend(source.speedup(c) for c in self.cores)
+            out.append(row)
+        return out
+
+    def format(self) -> str:
+        headers = ["Instance", "series"] + [f"k={c}" for c in self.cores]
+        body = format_table(
+            headers,
+            self.rows(),
+            title="SAT. Measured and predicted portfolio speed-ups (flips)",
+            float_format="{:.1f}",
+        )
+        return body + f"\nfitted family: {self.parametric.family}"
+
+
+def sat_portfolio_table(
+    config: ExperimentConfig | None = None,
+    observations: Mapping[str, RuntimeObservations] | None = None,
+) -> SATPortfolioTable:
+    """Simulated portfolio speed-ups vs the parametric and empirical predictors."""
+    config = config or ExperimentConfig.quick()
+    observations = observations or collect_sat_observations(config)
+    batch = observations[SAT_KEY]
+    flips = batch.values("iterations")
+    rng = np.random.default_rng(config.base_seed + 977)
+    measured = simulate_multiwalk_speedups(
+        batch,
+        config.cores,
+        measure="iterations",
+        n_parallel_runs=config.n_parallel_runs,
+        rng=rng,
+    )
+    return SATPortfolioTable(
+        label=batch.label,
+        cores=tuple(config.cores),
+        measured=measured,
+        parametric=predict_speedup_curve(flips, config.cores),
+        empirical=predict_speedup_empirical(flips, config.cores),
+    )

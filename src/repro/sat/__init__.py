@@ -11,5 +11,22 @@ terminate with probability one).
 
 from repro.sat.cnf import CNFFormula, Clause
 from repro.sat.generators import random_ksat, random_planted_ksat
+from repro.sat.incremental import (
+    BatchClausePath,
+    ClauseEvaluator,
+    ClausePath,
+    ClauseState,
+    IncrementalClausePath,
+)
 
-__all__ = ["CNFFormula", "Clause", "random_ksat", "random_planted_ksat"]
+__all__ = [
+    "BatchClausePath",
+    "CNFFormula",
+    "Clause",
+    "ClauseEvaluator",
+    "ClausePath",
+    "ClauseState",
+    "IncrementalClausePath",
+    "random_ksat",
+    "random_planted_ksat",
+]

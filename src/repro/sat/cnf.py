@@ -9,6 +9,8 @@ vectorised.
 
 from __future__ import annotations
 
+import warnings
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -70,6 +72,20 @@ class CNFFormula:
         literal_true = np.where(self._padding, False, literal_true)
         return literal_true.any(axis=1)
 
+    def true_literal_counts(self, assignment: np.ndarray) -> np.ndarray:
+        """Number of true literal slots per clause (duplicates counted).
+
+        A clause is satisfied iff its count is positive.  This is the
+        quantity the incremental clause state maintains per flip (see
+        :mod:`repro.sat.incremental`); computing it here in one vectorised
+        pass gives the state its initialisation and the tests their oracle.
+        """
+        assignment = self._check_assignment(assignment)
+        values = assignment[np.clip(self._variables, 0, self.n_variables - 1)]
+        literal_true = np.where(self._signs, values, ~values)
+        literal_true = np.where(self._padding, False, literal_true)
+        return literal_true.sum(axis=1, dtype=np.int64)
+
     def count_unsatisfied(self, assignment: np.ndarray) -> int:
         """Number of clauses violated by the assignment."""
         return int((~self.clause_satisfaction(assignment)).sum())
@@ -96,6 +112,41 @@ class CNFFormula:
         after = self.clause_satisfaction(flipped)
         return int(np.count_nonzero(before & ~after))
 
+    def make_count(self, assignment: np.ndarray, variable: int) -> int:
+        """Number of currently-unsatisfied clauses satisfied by flipping ``variable``.
+
+        ``variable`` is 0-based.  This is WalkSAT's "make" score, the
+        complement of :meth:`break_count`.
+        """
+        assignment = self._check_assignment(assignment)
+        if not 0 <= variable < self.n_variables:
+            raise IndexError(f"variable index {variable} out of range")
+        flipped = assignment.copy()
+        flipped[variable] = ~flipped[variable]
+        before = self.clause_satisfaction(assignment)
+        after = self.clause_satisfaction(flipped)
+        return int(np.count_nonzero(~before & after))
+
+    def clause_evaluator(self):
+        """Memoised incremental clause evaluator for this formula.
+
+        Built lazily on first use (the occurrence lists take one pass over
+        every literal) and cached under ``_clause_evaluator``, which
+        :meth:`__getstate__` keeps out of pickles so engine-cache
+        fingerprints are identical before and after a solver touched it.
+        """
+        from repro.sat.incremental import ClauseEvaluator
+
+        evaluator = getattr(self, "_clause_evaluator", None)
+        if evaluator is None:
+            evaluator = self._clause_evaluator = ClauseEvaluator(self)
+        return evaluator
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_clause_evaluator", None)
+        return state
+
     def random_assignment(self, rng: np.random.Generator) -> np.ndarray:
         """Uniformly random truth assignment."""
         return rng.integers(0, 2, size=self.n_variables, dtype=np.int64).astype(bool)
@@ -117,9 +168,16 @@ class CNFFormula:
         return "\n".join(lines) + "\n"
 
     @classmethod
-    def from_dimacs(cls, text: str) -> "CNFFormula":
-        """Parse a DIMACS CNF document (comments and a header line expected)."""
+    def from_dimacs(cls, text: str, *, strict: bool = False) -> "CNFFormula":
+        """Parse a DIMACS CNF document (comments and a header line expected).
+
+        The clause count declared in the ``p cnf`` header is validated
+        against the clauses actually parsed: a mismatch warns by default
+        (plenty of real-world DIMACS files have sloppy headers) and raises
+        ``ValueError`` under ``strict=True``.
+        """
         n_variables: int | None = None
+        declared_clauses: int | None = None
         clauses: list[list[int]] = []
         current: list[int] = []
         for raw_line in text.splitlines():
@@ -131,6 +189,7 @@ class CNFFormula:
                 if len(parts) != 4 or parts[1] != "cnf":
                     raise ValueError(f"malformed DIMACS header: {line!r}")
                 n_variables = int(parts[2])
+                declared_clauses = int(parts[3])
                 continue
             for token in line.split():
                 literal = int(token)
@@ -144,7 +203,20 @@ class CNFFormula:
             clauses.append(current)
         if n_variables is None:
             raise ValueError("missing DIMACS header line")
+        if declared_clauses is not None and declared_clauses != len(clauses):
+            message = (
+                f"DIMACS header declares {declared_clauses} clauses "
+                f"but {len(clauses)} were parsed"
+            )
+            if strict:
+                raise ValueError(message)
+            warnings.warn(message, stacklevel=2)
         return cls(n_variables, clauses)
+
+    @classmethod
+    def from_dimacs_file(cls, path: str | Path, *, strict: bool = False) -> "CNFFormula":
+        """Parse a DIMACS CNF file from disk (see :meth:`from_dimacs`)."""
+        return cls.from_dimacs(Path(path).read_text(), strict=strict)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CNFFormula(n_variables={self.n_variables}, n_clauses={self.n_clauses})"

@@ -1,0 +1,311 @@
+"""Incremental clause state for stochastic local search on CNF formulas.
+
+The WalkSAT hot loop asks three questions per flip: *which clauses are
+unsatisfied?*, *what is the break count of each variable of the picked
+clause?*, and *what changes when the chosen variable flips?*.  The batch
+answers rebuild the full ``(n_clauses, width)`` literal matrix for every
+question — O(m·w) per query and O(k·m·w) per flip.  This module answers all
+three from counters maintained across flips, mirroring the CSP
+:class:`~repro.csp.permutation.DeltaEvaluator` design (PR 2):
+
+* :class:`ClauseEvaluator` — per-formula immutable precomputation: for each
+  variable, the (ascending) list of clauses it occurs in together with its
+  positive/negative literal multiplicities there.  Shared by every run on
+  the formula (memoised via :meth:`repro.sat.cnf.CNFFormula.clause_evaluator`).
+* :class:`ClauseState` — per-run mutable state: the assignment, the number
+  of true literals per clause, and the unsatisfied-clause set as a dynamic
+  array with O(1) membership updates (swap-remove with a position table).
+  One flip costs O(occurrences of the flipped variable), amortised O(1)
+  bookkeeping per clause transition.
+* :class:`IncrementalClausePath` / :class:`BatchClausePath` — the two
+  interchangeable :class:`~repro.evaluation.EvaluationPath` implementations
+  WalkSAT consumes.  The batch path recomputes satisfaction from scratch
+  through :meth:`CNFFormula.clause_satisfaction` (the cross-check oracle)
+  but applies *identical* unsatisfied-set edits, so for a given seed both
+  paths present the same clause at the same rank and the solver takes
+  bit-identical decisions on either.
+
+Exactness contract (pinned by ``tests/sat/test_incremental.py``): after any
+sequence of flips and resets, ``state.true_counts`` equals
+``formula.true_literal_counts(assignment)``, ``break_count``/``make_count``
+equal :meth:`CNFFormula.break_count`/:meth:`CNFFormula.make_count`, and the
+unsatisfied set equals ``formula.unsatisfied_clauses(assignment)`` as a set
+— with identical internal ordering on both paths.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.evaluation import EvaluationPath, IncrementalEvaluator, IncrementalState
+from repro.sat.cnf import CNFFormula
+
+__all__ = [
+    "BatchClausePath",
+    "ClauseEvaluator",
+    "ClausePath",
+    "ClauseState",
+    "IncrementalClausePath",
+]
+
+
+class ClauseState(IncrementalState):
+    """Mutable incremental state of one WalkSAT run.
+
+    Attributes
+    ----------
+    assignment:
+        The boolean assignment the counters describe (owned copy).
+    true_counts:
+        ``int64`` array: number of true literal slots per clause
+        (duplicate literals counted, exactly
+        :meth:`CNFFormula.true_literal_counts`).
+    unsat_list / unsat_pos:
+        The unsatisfied-clause set as a dynamic array plus a clause-indexed
+        position table (``-1`` when absent).  Maintained with deterministic
+        edit rules — see :meth:`remove_clause` / :meth:`append_clause` —
+        so that the incremental and batch paths keep bit-identical
+        orderings.
+    """
+
+    def __init__(self, assignment: np.ndarray, true_counts: np.ndarray) -> None:
+        self.assignment = assignment
+        self.true_counts = true_counts
+        self.unsat_list: list[int] = []
+        self.unsat_pos: list[int] = [-1] * true_counts.size
+        self.rebuild_unsat()
+
+    # -- the unsatisfied-clause set ------------------------------------
+    @property
+    def cost(self) -> int:  # type: ignore[override]
+        """Number of unsatisfied clauses (the global error)."""
+        return len(self.unsat_list)
+
+    @property
+    def n_unsat(self) -> int:
+        return len(self.unsat_list)
+
+    def unsat_clause(self, rank: int) -> int:
+        """The clause stored at ``rank`` in the maintained set."""
+        return self.unsat_list[rank]
+
+    def rebuild_unsat(self) -> None:
+        """Recompute the set from :attr:`true_counts`, in ascending order."""
+        for clause in self.unsat_list:
+            self.unsat_pos[clause] = -1
+        self.unsat_list = [int(c) for c in np.flatnonzero(self.true_counts == 0)]
+        for position, clause in enumerate(self.unsat_list):
+            self.unsat_pos[clause] = position
+
+    def append_clause(self, clause: int) -> None:
+        """Add a newly-unsatisfied clause (appends at the end)."""
+        self.unsat_pos[clause] = len(self.unsat_list)
+        self.unsat_list.append(clause)
+
+    def remove_clause(self, clause: int) -> None:
+        """Remove a newly-satisfied clause (swap-remove with the last)."""
+        position = self.unsat_pos[clause]
+        last = self.unsat_list[-1]
+        self.unsat_list[position] = last
+        self.unsat_pos[last] = position
+        self.unsat_list.pop()
+        self.unsat_pos[clause] = -1
+
+    def apply_transitions(self, became_sat, became_unsat) -> None:
+        """Commit one flip's clause transitions, in the canonical order.
+
+        Both arguments must be in ascending clause order; removals are
+        applied before additions.  Every path implementation funnels its
+        edits through here, which is what makes the internal ordering (and
+        therefore the clause picked for a given RNG draw) path-invariant.
+        """
+        for clause in became_sat:
+            self.remove_clause(int(clause))
+        for clause in became_unsat:
+            self.append_clause(int(clause))
+
+
+class ClauseEvaluator(IncrementalEvaluator):
+    """Per-formula occurrence lists driving O(occurrences) flips.
+
+    For each variable ``v`` (0-based) three aligned arrays are stored:
+    ``clauses[v]`` — the clauses containing ``v`` in ascending order,
+    ``positive[v]`` / ``negative[v]`` — how many positive / negative
+    literals of ``v`` each of those clauses holds (duplicates and
+    tautological clauses are handled exactly).
+    """
+
+    def __init__(self, formula: CNFFormula) -> None:
+        self.formula = formula
+        n = formula.n_variables
+        clause_lists: list[list[int]] = [[] for _ in range(n)]
+        positive_lists: list[list[int]] = [[] for _ in range(n)]
+        negative_lists: list[list[int]] = [[] for _ in range(n)]
+        for index, clause in enumerate(formula.clauses):
+            for literal in clause:
+                variable = abs(literal) - 1
+                occurrences = clause_lists[variable]
+                if not occurrences or occurrences[-1] != index:
+                    occurrences.append(index)
+                    positive_lists[variable].append(0)
+                    negative_lists[variable].append(0)
+                if literal > 0:
+                    positive_lists[variable][-1] += 1
+                else:
+                    negative_lists[variable][-1] += 1
+        self.clauses = [np.asarray(c, dtype=np.int64) for c in clause_lists]
+        self.positive = [np.asarray(p, dtype=np.int64) for p in positive_lists]
+        self.negative = [np.asarray(m, dtype=np.int64) for m in negative_lists]
+
+    # ------------------------------------------------------------------
+    def attach(self, assignment: np.ndarray) -> ClauseState:
+        """Build the incremental state for an assignment (copies it)."""
+        assignment = np.asarray(assignment, dtype=bool).copy()
+        return ClauseState(assignment, self.formula.true_literal_counts(assignment))
+
+    def _contributions(self, state: ClauseState, variable: int):
+        """Current / after-flip true-literal contributions of ``variable``."""
+        if state.assignment[variable]:
+            return self.positive[variable], self.negative[variable]
+        return self.negative[variable], self.positive[variable]
+
+    def break_count(self, state: ClauseState, variable: int) -> int:
+        """Satisfied clauses that flipping ``variable`` would unsatisfy.
+
+        A clause breaks iff the variable contributes *every* currently-true
+        literal (``counts == current > 0``) and contributes none after the
+        flip (``new == 0``).  Exactly :meth:`CNFFormula.break_count`.
+        """
+        current, new = self._contributions(state, variable)
+        counts = state.true_counts[self.clauses[variable]]
+        return int(np.count_nonzero((counts == current) & (current > 0) & (new == 0)))
+
+    def make_count(self, state: ClauseState, variable: int) -> int:
+        """Unsatisfied clauses that flipping ``variable`` would satisfy."""
+        current, new = self._contributions(state, variable)
+        counts = state.true_counts[self.clauses[variable]]
+        return int(np.count_nonzero((counts == 0) & (new > 0)))
+
+    def flip(self, state: ClauseState, variable: int) -> None:
+        """Flip ``variable``: update counts and the unsatisfied set.
+
+        O(occurrences of ``variable``); the occurrence arrays are ascending,
+        so the transition lists handed to
+        :meth:`ClauseState.apply_transitions` are ascending too — the same
+        order the batch oracle derives from ``np.flatnonzero``.
+        """
+        indices = self.clauses[variable]
+        current, new = self._contributions(state, variable)
+        counts = state.true_counts[indices]
+        updated = counts + (new - current)
+        state.true_counts[indices] = updated
+        state.assignment[variable] = not state.assignment[variable]
+        state.apply_transitions(
+            indices[(counts == 0) & (updated > 0)],
+            indices[(counts > 0) & (updated == 0)],
+        )
+
+
+class ClausePath(EvaluationPath):
+    """Query surface WalkSAT's hot loop consumes, shared by both paths."""
+
+    @property
+    @abc.abstractmethod
+    def assignment(self) -> np.ndarray:
+        """The current assignment (owned by the path)."""
+
+    @property
+    @abc.abstractmethod
+    def n_unsat(self) -> int:
+        """Number of unsatisfied clauses."""
+
+    @abc.abstractmethod
+    def unsat_clause(self, rank: int) -> int:
+        """The clause at ``rank`` in the maintained unsatisfied set."""
+
+    @abc.abstractmethod
+    def break_count(self, variable: int) -> int:
+        """WalkSAT break score of ``variable`` under the current assignment."""
+
+    @abc.abstractmethod
+    def flip(self, variable: int) -> None:
+        """Flip ``variable`` and update the maintained state."""
+
+
+class IncrementalClausePath(ClausePath):
+    """Counter-maintained path: O(occurrences of the flipped variable) per flip."""
+
+    def __init__(self, evaluator: ClauseEvaluator) -> None:
+        self._evaluator = evaluator
+        self._state: ClauseState | None = None
+
+    @property
+    def assignment(self) -> np.ndarray:
+        return self._state.assignment
+
+    @property
+    def n_unsat(self) -> int:
+        return self._state.n_unsat
+
+    def reinit(self, assignment: np.ndarray) -> None:
+        if self._state is None:
+            self._state = self._evaluator.attach(assignment)
+        else:
+            self._evaluator.reset(self._state, assignment)
+
+    def unsat_clause(self, rank: int) -> int:
+        return self._state.unsat_clause(rank)
+
+    def break_count(self, variable: int) -> int:
+        return self._evaluator.break_count(self._state, variable)
+
+    def flip(self, variable: int) -> None:
+        self._evaluator.flip(self._state, variable)
+
+
+class BatchClausePath(ClausePath):
+    """Oracle path: full re-evaluation per query, identical set bookkeeping.
+
+    Break counts and clause transitions are recomputed from scratch through
+    the vectorised :class:`CNFFormula` methods — this is the path whose
+    correctness is obvious, kept as the cross-check oracle.  The
+    unsatisfied set is maintained through the same
+    :meth:`ClauseState.apply_transitions` edit rules as the incremental
+    path (removals then additions, each ascending), so both paths keep
+    bit-identical internal orderings.
+    """
+
+    def __init__(self, formula: CNFFormula) -> None:
+        self._formula = formula
+        self._state: ClauseState | None = None
+
+    @property
+    def assignment(self) -> np.ndarray:
+        return self._state.assignment
+
+    @property
+    def n_unsat(self) -> int:
+        return self._state.n_unsat
+
+    def reinit(self, assignment: np.ndarray) -> None:
+        assignment = np.asarray(assignment, dtype=bool).copy()
+        self._state = ClauseState(assignment, self._formula.true_literal_counts(assignment))
+
+    def unsat_clause(self, rank: int) -> int:
+        return self._state.unsat_clause(rank)
+
+    def break_count(self, variable: int) -> int:
+        return self._formula.break_count(self._state.assignment, variable)
+
+    def flip(self, variable: int) -> None:
+        state = self._state
+        before = self._formula.clause_satisfaction(state.assignment)
+        state.assignment[variable] = not state.assignment[variable]
+        after = self._formula.clause_satisfaction(state.assignment)
+        state.true_counts = self._formula.true_literal_counts(state.assignment)
+        state.apply_transitions(
+            np.flatnonzero(~before & after),
+            np.flatnonzero(before & ~after),
+        )

@@ -33,7 +33,13 @@ culprit.  Two interchangeable evaluation paths provide it:
 
 Both paths produce bit-identical costs and variable errors, so a given seed
 yields the same run (solved flag, iteration count, restarts, solution) on
-either; the equivalence is pinned by parametrised tests.
+either; the equivalence is pinned by parametrised tests.  The path
+selection plumbing (mode validation, auto/incremental/batch resolution) is
+shared with :class:`~repro.solvers.walksat.WalkSAT` through
+:mod:`repro.evaluation`; in ``"auto"`` mode the measured per-problem
+crossover (``PermutationProblem.incremental_min_size``) decides whether the
+kernel is expected to beat the very cheap vectorised batch cost at this
+instance size.
 """
 
 from __future__ import annotations
@@ -43,12 +49,15 @@ import dataclasses
 import numpy as np
 
 from repro.csp.permutation import DeltaEvaluator, PermutationProblem
+from repro.evaluation import (
+    EVALUATION_MODES,
+    EvaluationPath,
+    resolve_evaluation_path,
+    validate_evaluation_mode,
+)
 from repro.solvers.base import LasVegasAlgorithm, RunResult
 
 __all__ = ["AdaptiveSearch", "AdaptiveSearchConfig"]
-
-#: Accepted values of :attr:`AdaptiveSearchConfig.evaluation`.
-EVALUATION_MODES = ("auto", "incremental", "batch")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,8 +86,14 @@ class AdaptiveSearchConfig:
     evaluation:
         Candidate-evaluation path: ``"auto"`` uses the problem's incremental
         :class:`~repro.csp.permutation.DeltaEvaluator` when it provides one
-        and falls back to the batched oracle otherwise; ``"incremental"``
-        requires a delta kernel; ``"batch"`` forces the oracle path.
+        *and* the instance is at or above the problem's measured
+        batch/incremental crossover size
+        (:attr:`~repro.csp.permutation.PermutationProblem.incremental_min_size`,
+        e.g. n ≈ 96 for ALL-INTERVAL, whose two-numpy-call batch cost
+        function wins on call overhead below that), falling back to the
+        batched oracle otherwise; ``"incremental"`` requires a delta
+        kernel; ``"batch"`` forces the oracle path.  The choice only
+        affects speed — both paths yield bit-identical runs.
     """
 
     max_iterations: int = 100_000
@@ -104,13 +119,10 @@ class AdaptiveSearchConfig:
             raise ValueError(
                 f"plateau_probability must be in [0, 1], got {self.plateau_probability}"
             )
-        if self.evaluation not in EVALUATION_MODES:
-            raise ValueError(
-                f"evaluation must be one of {EVALUATION_MODES}, got {self.evaluation!r}"
-            )
+        validate_evaluation_mode(self.evaluation)
 
 
-class _BatchEvaluation:
+class _BatchEvaluation(EvaluationPath):
     """Oracle path: full re-evaluation through ``cost_many`` batches."""
 
     def __init__(self, problem: PermutationProblem) -> None:
@@ -133,7 +145,7 @@ class _BatchEvaluation:
         self.cost = new_cost
 
 
-class _IncrementalEvaluation:
+class _IncrementalEvaluation(EvaluationPath):
     """Delta path: O(size) kernels over counters maintained across moves."""
 
     def __init__(self, evaluator: DeltaEvaluator) -> None:
@@ -183,16 +195,21 @@ class AdaptiveSearch(LasVegasAlgorithm):
 
     # ------------------------------------------------------------------
     def _evaluation_path(self) -> _BatchEvaluation | _IncrementalEvaluation:
-        mode = self.config.evaluation
-        evaluator = self.problem.delta_evaluator() if mode != "batch" else None
-        if mode == "incremental" and evaluator is None:
-            raise ValueError(
-                f"{self.problem.describe()} provides no DeltaEvaluator; "
-                "use evaluation='auto' or 'batch'"
-            )
-        if evaluator is None:
-            return _BatchEvaluation(self.problem)
-        return _IncrementalEvaluation(evaluator)
+        problem = self.problem
+        crossover = problem.incremental_min_size
+
+        def incremental() -> _IncrementalEvaluation | None:
+            evaluator = problem.delta_evaluator()
+            return None if evaluator is None else _IncrementalEvaluation(evaluator)
+
+        return resolve_evaluation_path(
+            self.config.evaluation,
+            describe=problem.describe(),
+            incremental=incremental,
+            batch=lambda: _BatchEvaluation(problem),
+            incremental_requirement="DeltaEvaluator",
+            prefer_incremental=crossover is None or problem.size >= crossover,
+        )
 
     def _partial_reset(self, perm: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Re-randomise a fraction of the positions (keeping a permutation)."""

@@ -16,6 +16,18 @@ Algorithm (WalkSAT/SKC variant):
    clause, and with probability ``1 - noise`` flip the variable with the
    minimum break-count;
 5. repeat until the formula is satisfied or the flip budget is exhausted.
+
+Evaluation paths
+----------------
+The hot loop consumes a :class:`~repro.sat.incremental.ClausePath` — either
+the *incremental* clause state (per-variable occurrence lists and cached
+per-clause true-literal counts, O(occurrences of the flipped variable) per
+flip) or the *batch* oracle (full re-evaluation through the vectorised
+:class:`~repro.sat.cnf.CNFFormula` methods).  The two are exact mirrors:
+for a given seed they present the same clause for the same RNG draw and
+produce bit-identical flip sequences, solutions and restart counts — the
+same contract :class:`~repro.solvers.adaptive_search.AdaptiveSearch` pins
+for its delta kernels (see :mod:`repro.evaluation`).
 """
 
 from __future__ import annotations
@@ -24,7 +36,9 @@ import dataclasses
 
 import numpy as np
 
+from repro.evaluation import resolve_evaluation_path, validate_evaluation_mode
 from repro.sat.cnf import CNFFormula
+from repro.sat.incremental import BatchClausePath, ClausePath, IncrementalClausePath
 from repro.solvers.base import LasVegasAlgorithm, RunResult
 
 __all__ = ["WalkSAT", "WalkSATConfig"]
@@ -32,11 +46,32 @@ __all__ = ["WalkSAT", "WalkSATConfig"]
 
 @dataclasses.dataclass(frozen=True)
 class WalkSATConfig:
-    """Parameters of the WalkSAT solver."""
+    """Parameters of the WalkSAT solver.
+
+    Attributes
+    ----------
+    max_flips:
+        Hard per-run flip budget; runs hitting it are reported as unsolved
+        (censored observations).
+    noise:
+        Probability of a random walk move when no free variable exists.
+        ``noise=0`` is deterministic greedy (always the minimum-break
+        variable, ties broken uniformly); ``noise=1`` is a pure random walk
+        over the picked clause's variables.
+    restart_after:
+        Re-randomise the assignment every ``restart_after`` flips;
+        ``None`` disables restarts.
+    evaluation:
+        Evaluation path: ``"auto"`` (default) uses the incremental clause
+        state — for SAT it wins at every instance size; ``"incremental"``
+        demands it; ``"batch"`` forces the full re-evaluation oracle.
+        Both paths produce bit-identical runs for a given seed.
+    """
 
     max_flips: int = 100_000
     noise: float = 0.5
     restart_after: int | None = None
+    evaluation: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_flips < 1:
@@ -45,6 +80,7 @@ class WalkSATConfig:
             raise ValueError(f"noise must be in [0, 1], got {self.noise}")
         if self.restart_after is not None and self.restart_after < 1:
             raise ValueError(f"restart_after must be >= 1 or None, got {self.restart_after}")
+        validate_evaluation_mode(self.evaluation)
 
 
 class WalkSAT(LasVegasAlgorithm):
@@ -55,33 +91,40 @@ class WalkSAT(LasVegasAlgorithm):
         self.config = config or WalkSATConfig()
         self.name = f"walksat[{formula.n_variables}v/{formula.n_clauses}c]"
 
+    # ------------------------------------------------------------------
+    def _clause_path(self) -> ClausePath:
+        return resolve_evaluation_path(
+            self.config.evaluation,
+            describe=self.name,
+            incremental=lambda: IncrementalClausePath(self.formula.clause_evaluator()),
+            batch=lambda: BatchClausePath(self.formula),
+            incremental_requirement="incremental ClauseEvaluator",
+        )
+
     def _run(self, rng: np.random.Generator) -> RunResult:
         formula = self.formula
         config = self.config
 
-        assignment = formula.random_assignment(rng)
+        path = self._clause_path()
+        path.reinit(formula.random_assignment(rng))
         flips = 0
         restarts = 0
         flips_since_restart = 0
 
-        unsatisfied = formula.unsatisfied_clauses(assignment)
-        while unsatisfied.size > 0 and flips < config.max_flips:
+        while path.n_unsat > 0 and flips < config.max_flips:
             if (
                 config.restart_after is not None
                 and flips_since_restart >= config.restart_after
             ):
-                assignment = formula.random_assignment(rng)
+                path.reinit(formula.random_assignment(rng))
                 restarts += 1
                 flips_since_restart = 0
-                unsatisfied = formula.unsatisfied_clauses(assignment)
                 continue
 
-            clause_index = int(unsatisfied[rng.integers(unsatisfied.size)])
+            clause_index = path.unsat_clause(int(rng.integers(path.n_unsat)))
             clause = formula.clauses[clause_index]
             variables = [abs(lit) - 1 for lit in clause]
-            breaks = np.array(
-                [formula.break_count(assignment, var) for var in variables], dtype=np.int64
-            )
+            breaks = np.array([path.break_count(var) for var in variables], dtype=np.int64)
 
             if (breaks == 0).any():
                 candidates = np.flatnonzero(breaks == 0)
@@ -92,16 +135,15 @@ class WalkSAT(LasVegasAlgorithm):
                 candidates = np.flatnonzero(breaks == breaks.min())
                 chosen = variables[int(candidates[rng.integers(candidates.size)])]
 
-            assignment[chosen] = ~assignment[chosen]
+            path.flip(chosen)
             flips += 1
             flips_since_restart += 1
-            unsatisfied = formula.unsatisfied_clauses(assignment)
 
-        solved = unsatisfied.size == 0
+        solved = path.n_unsat == 0
         return RunResult(
             solved=solved,
             iterations=flips,
             runtime_seconds=0.0,
-            solution=assignment.copy() if solved else None,
+            solution=path.assignment.copy() if solved else None,
             restarts=restarts,
         )

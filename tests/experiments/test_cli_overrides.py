@@ -39,6 +39,17 @@ class TestConfigFromArgs:
         config = _config_from_args(parse(["campaign", "--profile", "tiny", "--runs", "3"]))
         assert config.n_sequential_runs == 3
 
+    def test_overrides_keep_the_profile_sat_instance(self):
+        # dataclasses.replace semantics: --runs/--seed must not reset the
+        # profile's SAT workload parameters back to the class defaults.
+        tiny = _config_from_args(parse(["run", "sat_flips", "--profile", "tiny"]))
+        overridden = _config_from_args(
+            parse(["run", "sat_flips", "--profile", "tiny", "--runs", "5", "--seed", "3"])
+        )
+        assert overridden.sat_n_variables == tiny.sat_n_variables
+        assert overridden.n_sequential_runs == 5
+        assert overridden.base_seed == 3
+
 
 class TestParserShape:
     def test_predict_defaults(self):

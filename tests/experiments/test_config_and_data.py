@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.experiments.config import BENCHMARK_KEYS, ExperimentConfig
+from repro.experiments.config import BENCHMARK_KEYS, SAT_KEY, ExperimentConfig
 from repro.experiments.data import (
     CampaignSummary,
     clear_observation_cache,
     collect_benchmark_observations,
+    collect_sat_observations,
 )
 
 
@@ -89,3 +90,77 @@ class TestCampaignCollection:
         summary = CampaignSummary.from_observations(tiny_config, tiny_observations)
         assert set(summary.n_runs) == set(BENCHMARK_KEYS)
         assert all(0.0 <= rate <= 1.0 for rate in summary.success_rates.values())
+
+
+class TestSATConfig:
+    def test_profiles_scale_the_sat_instance(self):
+        tiny = ExperimentConfig.tiny()
+        quick = ExperimentConfig.quick()
+        full = ExperimentConfig.full()
+        assert tiny.sat_n_variables < quick.sat_n_variables < full.sat_n_variables
+        for config in (tiny, quick, full):
+            assert config.sat_clause_ratio == 4.2
+            assert config.sat_k == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(sat_n_variables=2, sat_k=3)
+        with pytest.raises(ValueError):
+            ExperimentConfig(sat_clause_ratio=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(sat_k=0)
+
+    def test_sat_benchmark_spec_is_deterministic(self, tiny_config):
+        a = tiny_config.sat_benchmark()
+        b = tiny_config.sat_benchmark()
+        assert a.key == SAT_KEY
+        assert a.label == b.label
+        # Same config -> the very same formula: this is what makes SAT
+        # campaigns content-addressable in the engine cache.
+        assert a.formula_factory().clauses == b.formula_factory().clauses
+
+    def test_different_seed_changes_the_instance(self, tiny_config):
+        import dataclasses
+
+        other = dataclasses.replace(tiny_config, base_seed=tiny_config.base_seed + 1)
+        assert (
+            tiny_config.sat_benchmark().formula_factory().clauses
+            != other.sat_benchmark().formula_factory().clauses
+        )
+
+    def test_spec_builds_walksat_solver(self, tiny_config):
+        solver = tiny_config.sat_benchmark().make_solver(123)
+        assert solver.config.max_flips == 123
+        assert solver.formula.n_variables == tiny_config.sat_n_variables
+
+
+class TestSATCampaignCollection:
+    def test_collection_and_in_process_cache(self, tiny_config):
+        first = collect_sat_observations(tiny_config)
+        assert set(first) == {SAT_KEY}
+        assert first[SAT_KEY].n_runs == tiny_config.n_sequential_runs
+        again = collect_sat_observations(tiny_config)
+        np.testing.assert_array_equal(first[SAT_KEY].iterations, again[SAT_KEY].iterations)
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        config = ExperimentConfig(
+            sat_n_variables=20,
+            n_sequential_runs=4,
+            max_iterations=50_000,
+            base_seed=13,
+        )
+        clear_observation_cache()
+        first = collect_sat_observations(config, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("observations-*.json"))) == 1
+        clear_observation_cache()
+        second = collect_sat_observations(config, cache_dir=tmp_path)
+        np.testing.assert_array_equal(first[SAT_KEY].iterations, second[SAT_KEY].iterations)
+        clear_observation_cache()
+
+    def test_sat_campaign_is_backend_invariant(self, tiny_config):
+        clear_observation_cache()
+        serial = collect_sat_observations(tiny_config)[SAT_KEY]
+        clear_observation_cache()
+        threaded = collect_sat_observations(tiny_config, backend="thread", workers=2)[SAT_KEY]
+        np.testing.assert_array_equal(serial.iterations, threaded.iterations)
+        clear_observation_cache()

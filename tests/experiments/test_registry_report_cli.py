@@ -11,7 +11,15 @@ from repro.experiments.report import format_series, format_table
 class TestRegistry:
     def test_every_paper_table_and_figure_is_registered(self):
         expected = {f"table{i}" for i in range(1, 6)} | {f"figure{i}" for i in range(1, 15)}
+        expected |= {"sat_flips", "sat_portfolio"}  # the paper-conclusion SAT extension
         assert expected == set(EXPERIMENTS)
+
+    def test_entries_declare_valid_observation_kinds(self):
+        for entry in EXPERIMENTS.values():
+            assert entry.observations in (None, "benchmarks", "sat")
+        assert EXPERIMENTS["table1"].observations == "benchmarks"
+        assert EXPERIMENTS["figure3"].observations is None
+        assert EXPERIMENTS["sat_portfolio"].observations == "sat"
 
     def test_list_experiments_descriptions(self):
         listing = dict(list_experiments())
@@ -99,3 +107,34 @@ class TestCLI:
         assert main(["campaign", "--profile", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "success-rate" in out
+
+    def test_list_shows_sat_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sat_flips" in out
+        assert "sat_portfolio" in out
+
+    def test_run_sat_experiments(self, capsys):
+        assert main(["run", "sat_flips", "sat_portfolio", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Sequential WalkSAT flips" in out
+        assert "portfolio speed-ups" in out
+
+    def test_campaign_includes_the_sat_workload(self, capsys, tiny_observations):
+        assert main(["campaign", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "3-SAT" in out
+
+    def test_campaign_disk_cache_hits_on_second_invocation(self, tmp_path, capsys):
+        from repro.experiments.data import clear_observation_cache
+
+        clear_observation_cache()
+        assert main(["campaign", "--profile", "tiny", "--cache", str(tmp_path)]) == 0
+        files = sorted(tmp_path.glob("observations-*.json"))
+        assert len(files) == 4  # MS, AI, Costas + the SAT workload
+        stamps = [f.stat().st_mtime_ns for f in files]
+        clear_observation_cache()
+        assert main(["campaign", "--profile", "tiny", "--cache", str(tmp_path)]) == 0
+        # A warm cache answers without re-running or re-writing any campaign.
+        assert [f.stat().st_mtime_ns for f in sorted(tmp_path.glob("*.json"))] == stamps
+        clear_observation_cache()

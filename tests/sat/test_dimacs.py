@@ -1,0 +1,95 @@
+"""DIMACS serialisation: header validation, file parsing, round-trip property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNFFormula
+
+
+def _formulas() -> st.SearchStrategy[CNFFormula]:
+    """Random small CNF formulas, duplicates and tautologies included."""
+
+    def build(n_variables: int, raw_clauses):
+        clauses = []
+        for clause in raw_clauses:
+            literals = tuple(
+                (variable % n_variables) + 1 if positive else -((variable % n_variables) + 1)
+                for variable, positive in clause
+            )
+            clauses.append(literals)
+        return CNFFormula(n_variables, clauses)
+
+    return st.integers(min_value=1, max_value=9).flatmap(
+        lambda n: st.builds(
+            build,
+            st.just(n),
+            st.lists(
+                st.lists(
+                    st.tuples(st.integers(min_value=0, max_value=50), st.booleans()),
+                    min_size=1,
+                    max_size=5,
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+        )
+    )
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(_formulas())
+    def test_to_dimacs_then_from_dimacs_is_identity(self, formula):
+        parsed = CNFFormula.from_dimacs(formula.to_dimacs())
+        assert parsed.n_variables == formula.n_variables
+        assert parsed.clauses == formula.clauses
+
+    @settings(max_examples=20, deadline=None)
+    @given(_formulas())
+    def test_round_trip_preserves_satisfaction(self, formula):
+        parsed = CNFFormula.from_dimacs(formula.to_dimacs())
+        rng = np.random.default_rng(0)
+        assignment = formula.random_assignment(rng)
+        assert parsed.count_unsatisfied(assignment) == formula.count_unsatisfied(assignment)
+
+
+class TestHeaderValidation:
+    def test_declared_clause_count_mismatch_warns(self):
+        text = "p cnf 2 3\n1 -2 0\n2 0\n"  # declares 3, provides 2
+        with pytest.warns(UserWarning, match="declares 3 clauses but 2 were parsed"):
+            formula = CNFFormula.from_dimacs(text)
+        assert formula.n_clauses == 2
+
+    def test_declared_clause_count_mismatch_raises_in_strict_mode(self):
+        text = "p cnf 2 3\n1 -2 0\n2 0\n"
+        with pytest.raises(ValueError, match="declares 3 clauses"):
+            CNFFormula.from_dimacs(text, strict=True)
+
+    def test_matching_header_is_silent(self, recwarn):
+        formula = CNFFormula.from_dimacs("p cnf 2 2\n1 -2 0\n2 0\n")
+        assert formula.n_clauses == 2
+        assert not recwarn.list
+
+    def test_trailing_clause_without_terminator_is_counted(self):
+        # The final 0 is optional in the wild; the count check must see it.
+        formula = CNFFormula.from_dimacs("p cnf 2 2\n1 -2 0\n2")
+        assert formula.n_clauses == 2
+
+
+class TestFileParsing:
+    def test_from_dimacs_file_round_trip(self, tmp_path):
+        formula = CNFFormula(3, [(1, -2, 3), (-1, 2), (3,)])
+        path = tmp_path / "instance.cnf"
+        path.write_text(formula.to_dimacs())
+        parsed = CNFFormula.from_dimacs_file(path)
+        assert parsed.clauses == formula.clauses
+        assert parsed.n_variables == formula.n_variables
+
+    def test_from_dimacs_file_accepts_str_paths_and_strict(self, tmp_path):
+        path = tmp_path / "bad.cnf"
+        path.write_text("p cnf 1 5\n1 0\n")
+        with pytest.warns(UserWarning):
+            CNFFormula.from_dimacs_file(str(path))
+        with pytest.raises(ValueError):
+            CNFFormula.from_dimacs_file(str(path), strict=True)

@@ -1,0 +1,134 @@
+"""Exactness of the incremental clause state against the batch oracle.
+
+Mirrors ``tests/csp/test_delta.py``: long random walks of flips and resets
+(hypothesis-style, deterministic seeds) after which every maintained
+quantity must equal its from-scratch recomputation — plus the ordering
+invariant that makes the incremental and batch paths bit-identical inside
+WalkSAT's hot loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sat import (
+    BatchClausePath,
+    CNFFormula,
+    IncrementalClausePath,
+    random_ksat,
+    random_planted_ksat,
+)
+
+
+def _random_formula(seed: int, n_variables: int = 20, n_clauses: int = 85) -> CNFFormula:
+    return random_ksat(n_variables, n_clauses, k=3, rng=np.random.default_rng(seed))
+
+
+class TestClauseEvaluatorExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_counts_exact_after_random_walk(self, seed):
+        formula = _random_formula(seed)
+        rng = np.random.default_rng(1000 + seed)
+        evaluator = formula.clause_evaluator()
+        assignment = formula.random_assignment(rng)
+        state = evaluator.attach(assignment)
+        for step in range(200):
+            variable = int(rng.integers(formula.n_variables))
+            evaluator.flip(state, variable)
+            if step % 50 == 49:  # occasional reset, as restarts do
+                evaluator.reset(state, formula.random_assignment(rng))
+        np.testing.assert_array_equal(
+            state.true_counts, formula.true_literal_counts(state.assignment)
+        )
+        assert sorted(state.unsat_list) == list(
+            formula.unsatisfied_clauses(state.assignment)
+        )
+        assert state.cost == formula.count_unsatisfied(state.assignment)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_break_and_make_counts_match_oracle(self, seed):
+        formula = _random_formula(seed, n_variables=15, n_clauses=60)
+        rng = np.random.default_rng(2000 + seed)
+        evaluator = formula.clause_evaluator()
+        state = evaluator.attach(formula.random_assignment(rng))
+        for _ in range(40):
+            evaluator.flip(state, int(rng.integers(formula.n_variables)))
+            for variable in range(formula.n_variables):
+                assert evaluator.break_count(state, variable) == formula.break_count(
+                    state.assignment, variable
+                )
+                assert evaluator.make_count(state, variable) == formula.make_count(
+                    state.assignment, variable
+                )
+
+    def test_duplicate_literals_and_tautologies(self):
+        # (1 1), (1 -1), (-2 -2 1): duplicate and tautological clauses must
+        # be counted per literal slot, exactly as true_literal_counts does.
+        formula = CNFFormula(2, [(1, 1), (1, -1), (-2, -2, 1)])
+        evaluator = formula.clause_evaluator()
+        for bits in ((False, False), (False, True), (True, False), (True, True)):
+            assignment = np.array(bits)
+            state = evaluator.attach(assignment)
+            np.testing.assert_array_equal(
+                state.true_counts, formula.true_literal_counts(assignment)
+            )
+            for variable in range(2):
+                assert evaluator.break_count(state, variable) == formula.break_count(
+                    assignment, variable
+                )
+                assert evaluator.make_count(state, variable) == formula.make_count(
+                    assignment, variable
+                )
+        # ... and stay exact across flips.
+        state = evaluator.attach(np.array([False, False]))
+        for variable in (0, 1, 0, 0, 1):
+            evaluator.flip(state, variable)
+            np.testing.assert_array_equal(
+                state.true_counts, formula.true_literal_counts(state.assignment)
+            )
+
+    def test_evaluator_is_memoised_and_unpickled(self):
+        import pickle
+
+        formula = _random_formula(7)
+        assert formula.clause_evaluator() is formula.clause_evaluator()
+        clone = pickle.loads(pickle.dumps(formula))
+        # The memo is derived state: dropped from pickles, rebuilt on demand.
+        assert getattr(clone, "_clause_evaluator", None) is None
+        assert clone.clause_evaluator().break_count(
+            clone.clause_evaluator().attach(np.zeros(formula.n_variables, dtype=bool)), 0
+        ) == formula.break_count(np.zeros(formula.n_variables, dtype=bool), 0)
+
+    def test_pickle_unchanged_by_evaluator_memo(self):
+        import pickle
+
+        formula = _random_formula(8)
+        before = pickle.dumps(formula)
+        formula.clause_evaluator()  # touch the memo
+        assert pickle.dumps(formula) == before  # engine-cache fingerprints stable
+
+
+class TestPathOrderingInvariant:
+    """Both paths keep bit-identical unsatisfied-set orderings."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identical_internal_order_under_identical_flips(self, seed):
+        formula, _ = random_planted_ksat(18, 76, rng=np.random.default_rng(seed))
+        rng = np.random.default_rng(3000 + seed)
+        incremental = IncrementalClausePath(formula.clause_evaluator())
+        batch = BatchClausePath(formula)
+        assignment = formula.random_assignment(rng)
+        incremental.reinit(assignment)
+        batch.reinit(assignment)
+        assert incremental.n_unsat == batch.n_unsat
+        for step in range(150):
+            for rank in range(incremental.n_unsat):
+                assert incremental.unsat_clause(rank) == batch.unsat_clause(rank)
+            variable = int(rng.integers(formula.n_variables))
+            assert incremental.break_count(variable) == batch.break_count(variable)
+            incremental.flip(variable)
+            batch.flip(variable)
+            assert incremental.n_unsat == batch.n_unsat
+            if step % 60 == 59:
+                fresh = formula.random_assignment(rng)
+                incremental.reinit(fresh)
+                batch.reinit(fresh)

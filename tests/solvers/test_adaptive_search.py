@@ -222,3 +222,47 @@ class TestEvaluationPathEquivalence:
         solver = AdaptiveSearch(adapter, AdaptiveSearchConfig(evaluation="incremental"))
         with pytest.raises(ValueError, match="DeltaEvaluator"):
             solver.run(0)
+
+
+class TestAutoCrossover:
+    """`evaluation="auto"` picks the path from the measured per-problem
+    batch/incremental crossover size instead of always preferring the
+    kernel (the ROADMAP "ALL-INTERVAL small-n overhead" item)."""
+
+    def _path(self, problem, mode="auto"):
+        from repro.solvers.adaptive_search import _BatchEvaluation, _IncrementalEvaluation
+
+        path = AdaptiveSearch(problem, AdaptiveSearchConfig(evaluation=mode))._evaluation_path()
+        assert isinstance(path, (_BatchEvaluation, _IncrementalEvaluation))
+        return type(path).__name__
+
+    def test_all_interval_below_crossover_uses_batch(self):
+        assert AllIntervalProblem.incremental_min_size == 96
+        problem = AllIntervalProblem(48)
+        assert self._path(problem) == "_BatchEvaluation"
+        # Below the crossover the delta kernel is never even constructed —
+        # its build cost was part of the small-n overhead being avoided.
+        assert getattr(problem, "_delta_evaluator", None) is None
+
+    def test_all_interval_at_or_above_crossover_uses_kernel(self):
+        assert self._path(AllIntervalProblem(96)) == "_IncrementalEvaluation"
+        assert self._path(AllIntervalProblem(192)) == "_IncrementalEvaluation"
+
+    def test_problems_without_crossover_always_prefer_the_kernel(self):
+        assert NQueensProblem.incremental_min_size is None
+        assert self._path(NQueensProblem(8)) == "_IncrementalEvaluation"
+
+    def test_explicit_modes_override_the_crossover(self):
+        assert self._path(AllIntervalProblem(48), mode="incremental") == "_IncrementalEvaluation"
+        assert self._path(AllIntervalProblem(192), mode="batch") == "_BatchEvaluation"
+
+    def test_auto_choice_does_not_change_results(self):
+        problem = AllIntervalProblem(10)  # below crossover: auto = batch
+        for seed in range(3):
+            auto = AdaptiveSearch(
+                problem, AdaptiveSearchConfig(max_iterations=20_000, evaluation="auto")
+            ).run(seed)
+            forced = AdaptiveSearch(
+                problem, AdaptiveSearchConfig(max_iterations=20_000, evaluation="incremental")
+            ).run(seed)
+            assert (auto.solved, auto.iterations) == (forced.solved, forced.iterations)
