@@ -1,0 +1,145 @@
+"""Distributed-campaign smoke check: coordinator + external workers, vs serial.
+
+This is the script the ``distributed-smoke`` CI job runs to prove the
+engine's determinism invariant across process (and host) boundaries: a
+campaign collected with ``--backend distributed`` on however many workers
+happen to connect must be **bit-identical** — label, iteration counts,
+solved flags and seeds — to the same campaign collected serially.  (Wall
+clock is the one field that legitimately differs: it measures the machine,
+not the algorithm.)
+
+The script acts as the coordinator for two small campaigns, N-Queens
+(Adaptive Search) and planted 3-SAT (WalkSAT), then re-collects both
+serially and byte-compares the deterministic fields.  Workers are separate
+processes; start them yourself (as the CI job does)::
+
+    python -m repro.cli worker --connect 127.0.0.1:7821 --connect-timeout 60 &
+    python -m repro.cli worker --connect 127.0.0.1:7821 --connect-timeout 60 &
+    python examples/distributed_smoke.py --coordinator 127.0.0.1:7821
+
+or let the script spawn local workers for a self-contained run::
+
+    python examples/distributed_smoke.py --coordinator 127.0.0.1:0 --spawn-workers 2
+
+Exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.engine import DistributedBackend, collect_batch
+from repro.csp.problems import NQueensProblem
+from repro.sat import random_planted_ksat
+from repro.solvers import AdaptiveSearch, AdaptiveSearchConfig, WalkSAT, WalkSATConfig
+
+
+def _campaigns(base_seed: int):
+    """The two smoke workloads: one CSP benchmark, one SAT workload."""
+    rng = np.random.default_rng(base_seed)
+    formula, _planted = random_planted_ksat(40, 168, 3, rng=rng)
+    return [
+        (
+            "nqueens-8",
+            AdaptiveSearch(NQueensProblem(8), AdaptiveSearchConfig(max_iterations=50_000)),
+        ),
+        ("planted-3sat-40", WalkSAT(formula, WalkSATConfig(max_flips=200_000, noise=0.5))),
+    ]
+
+
+def deterministic_bytes(batch) -> bytes:
+    """Canonical bytes of a batch's backend-invariant fields."""
+    payload = batch.to_dict()
+    payload.pop("runtimes")  # wall clock measures the machine, not the run
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--coordinator",
+        default="127.0.0.1:7821",
+        metavar="HOST:PORT",
+        help="address to serve work units on (port 0 picks a free port)",
+    )
+    parser.add_argument("--runs", type=int, default=24, help="runs per campaign (default: 24)")
+    parser.add_argument("--seed", type=int, default=20130813, help="campaign base seed")
+    parser.add_argument(
+        "--spawn-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N local worker subprocesses instead of relying on external ones",
+    )
+    parser.add_argument(
+        "--unit-size", type=int, default=4, help="runs per work unit (default: 4)"
+    )
+    parser.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=120.0,
+        help="fail if no unit completes within this many seconds (default: 120)",
+    )
+    args = parser.parse_args()
+
+    backend = DistributedBackend(
+        coordinator=args.coordinator,
+        unit_size=args.unit_size,
+        batch_timeout=args.batch_timeout,
+    )
+    address = backend.start()
+    print(f"coordinator listening on {address}")
+
+    spawned: list[subprocess.Popen] = []
+    for _ in range(args.spawn_workers):
+        spawned.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "worker",
+                    "--connect",
+                    address,
+                    "--connect-timeout",
+                    "60",
+                ]
+            )
+        )
+
+    failures = 0
+    try:
+        for offset, (name, solver) in enumerate(_campaigns(args.seed)):
+            seed = args.seed + offset
+            distributed = collect_batch(
+                solver, args.runs, base_seed=seed, label=name, backend=backend
+            )
+            serial = collect_batch(solver, args.runs, base_seed=seed, label=name)
+            identical = deterministic_bytes(distributed) == deterministic_bytes(serial)
+            status = "bit-identical" if identical else "MISMATCH"
+            print(
+                f"{name:<18s} runs={distributed.n_runs:<4d} "
+                f"solved={distributed.n_solved:<4d} "
+                f"mean-iterations={distributed.iterations.mean():.1f}  [{status}]"
+            )
+            if not identical:
+                failures += 1
+    finally:
+        backend.shutdown()
+        for proc in spawned:
+            proc.wait(timeout=60)
+
+    if failures:
+        print(f"FAILED: {failures} campaign(s) diverged between backends", file=sys.stderr)
+        return 1
+    print("distributed == serial for every campaign (deterministic fields, byte-compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ from repro.core.censoring import (
     kaplan_meier,
 )
 from repro.core.distributions import LogNormalRuntime, ShiftedExponential
-from repro.core.restarts import luby_sequence, optimal_cutoff, restart_vs_multiwalk
+from repro.core.restarts import luby_sequence, restart_vs_multiwalk
 
 
 def restart_section() -> None:

@@ -13,7 +13,13 @@ Subcommands
     end-user workflow.
 ``campaign``
     Collect (and optionally persist) the sequential solver campaigns used by
-    the solver-backed experiments.
+    the solver-backed experiments.  With ``--backend distributed`` the
+    process acts as the coordinator (``--coordinator HOST:PORT`` or
+    ``--job-dir DIR``) and the runs execute on connected workers.
+``worker``
+    Join a distributed campaign: connect to a coordinator (``--connect``) or
+    watch a job directory (``--job-dir``), pull work units, run them on a
+    local backend, and stream results back until the coordinator shuts down.
 """
 
 from __future__ import annotations
@@ -26,7 +32,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.prediction import predict_speedup_curve, predict_speedup_empirical
-from repro.engine.core import BACKENDS
+from repro.engine.backends import BatchExecutor
+from repro.engine.core import BACKENDS, resolve_backend
+from repro.engine.distributed import DistributedBackend, run_worker
 from repro.engine.progress import BatchProgress
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import CampaignSummary
@@ -41,9 +49,14 @@ from repro.experiments.registry import (
 __all__ = ["build_parser", "main"]
 
 
+#: Profile names accepted by every campaign-running subcommand.
+PROFILES: tuple[str, ...] = ("tiny", "quick", "medium", "full")
+
+
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     profiles = {
         "quick": ExperimentConfig.quick,
+        "medium": ExperimentConfig.medium,
         "full": ExperimentConfig.full,
         "tiny": ExperimentConfig.tiny,
     }
@@ -80,6 +93,36 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="directory of the on-disk observation cache (repeat campaigns are free)",
     )
+    parser.add_argument(
+        "--coordinator",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="with --backend distributed: bind the coordinator socket here "
+        "and serve work units to connected 'worker' processes",
+    )
+    parser.add_argument(
+        "--job-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="with --backend distributed: use a shared job directory instead "
+        "of a socket (for queue/HPC settings)",
+    )
+    parser.add_argument(
+        "--unit-size",
+        type=int,
+        default=None,
+        help="runs per distributed work unit (the work-stealing granule, default: 4)",
+    )
+    parser.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --backend distributed: fail if no unit completes for this long "
+        "(default: wait forever)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         help="experiment ids (e.g. table5 figure9) or 'all'",
     )
-    run_parser.add_argument("--profile", choices=("tiny", "quick", "full"), default="quick")
+    run_parser.add_argument("--profile", choices=PROFILES, default="quick")
     run_parser.add_argument("--runs", type=int, default=None, help="override sequential run count")
     run_parser.add_argument("--seed", type=int, default=None, help="override the base seed")
     _add_engine_arguments(run_parser)
@@ -124,11 +167,69 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser = subparsers.add_parser(
         "campaign", help="collect the sequential solver campaigns used by the experiments"
     )
-    campaign_parser.add_argument("--profile", choices=("tiny", "quick", "full"), default="quick")
+    campaign_parser.add_argument("--profile", choices=PROFILES, default="quick")
     campaign_parser.add_argument("--runs", type=int, default=None)
     campaign_parser.add_argument("--seed", type=int, default=None)
     campaign_parser.add_argument("--progress", action="store_true", help="print per-run progress")
     _add_engine_arguments(campaign_parser)
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="join a distributed campaign and execute its work units"
+    )
+    worker_parser.add_argument(
+        "--connect",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="coordinator address to pull work units from",
+    )
+    worker_parser.add_argument(
+        "--job-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="shared job directory to pull work units from (instead of a socket)",
+    )
+    worker_parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="local backend each work unit runs on (default: serial; 'process' "
+        "pays spawn-pool startup per unit, so pair it with a larger "
+        "coordinator --unit-size)",
+    )
+    worker_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the local thread/process backend",
+    )
+    worker_parser.add_argument(
+        "--cache",
+        "--cache-dir",
+        dest="cache_dir",
+        type=str,
+        default=None,
+        help="shared observation-cache directory (unit results are reused across the fleet)",
+    )
+    worker_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds between polls while idle (default: 0.2)",
+    )
+    worker_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the initial connection (default: 30)",
+    )
+    worker_parser.add_argument(
+        "--max-units", type=int, default=None, help="exit after completing this many units"
+    )
+    worker_parser.add_argument(
+        "--name", type=str, default=None, help="worker name announced to the coordinator"
+    )
 
     return parser
 
@@ -145,7 +246,48 @@ def _validate_engine_args(args: argparse.Namespace) -> str | None:
         return "--workers requires a parallel backend; add --backend thread or --backend process"
     if args.workers is not None and args.workers < 1:
         return f"--workers must be >= 1, got {args.workers}"
+    if args.backend == "distributed":
+        if args.workers is not None:
+            return (
+                "--workers does not apply to --backend distributed; worker count "
+                "is however many 'worker' processes connect"
+            )
+        if (args.coordinator is None) == (args.job_dir is None):
+            return "--backend distributed needs exactly one of --coordinator or --job-dir"
+        if args.unit_size is not None and args.unit_size < 1:
+            return f"--unit-size must be >= 1, got {args.unit_size}"
+        if args.batch_timeout is not None and args.batch_timeout <= 0:
+            return f"--batch-timeout must be positive, got {args.batch_timeout:g}"
+    elif (
+        args.coordinator is not None
+        or args.job_dir is not None
+        or args.unit_size is not None
+        or args.batch_timeout is not None
+    ):
+        # Silently ignoring tuning flags would hide misconfiguration (e.g. a
+        # user expecting --batch-timeout to bound a process-backend campaign).
+        return (
+            "--coordinator/--job-dir/--unit-size/--batch-timeout require "
+            "--backend distributed"
+        )
     return None
+
+
+def _engine_backend(args: argparse.Namespace) -> str | BatchExecutor:
+    """Build the backend spec passed to the engine from validated CLI flags.
+
+    Distributed campaigns need one *configured instance* shared by every
+    batch of the invocation, so the coordinator socket (or job directory)
+    persists across batches and workers stay connected in between.
+    """
+    if args.backend != "distributed":
+        return args.backend
+    return DistributedBackend(
+        coordinator=args.coordinator,
+        job_dir=args.job_dir,
+        unit_size=args.unit_size if args.unit_size is not None else 4,
+        batch_timeout=args.batch_timeout,
+    )
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -161,17 +303,22 @@ def _command_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
+    backend = _engine_backend(args)
     # Collect each observation campaign at most once, with the engine flags.
     campaigns: dict[str, object] = {}
-    for kind in OBSERVATION_KINDS:
-        if any(EXPERIMENTS[n].observations == kind for n in names):
-            campaigns[kind] = collect_observations_for(
-                kind,
-                config,
-                cache_dir=args.cache_dir,
-                backend=args.backend,
-                workers=args.workers,
-            )
+    try:
+        for kind in OBSERVATION_KINDS:
+            if any(EXPERIMENTS[n].observations == kind for n in names):
+                campaigns[kind] = collect_observations_for(
+                    kind,
+                    config,
+                    cache_dir=args.cache_dir,
+                    backend=backend,
+                    workers=args.workers if isinstance(backend, str) else None,
+                )
+    finally:
+        if isinstance(backend, DistributedBackend):
+            backend.shutdown()  # lets connected workers exit cleanly
     for name in names:
         kind = EXPERIMENTS[name].observations
         if kind is not None:
@@ -221,26 +368,60 @@ def _command_campaign(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
+    backend = _engine_backend(args)
     # Every observation kind rides the same engine/cache plumbing — one
     # campaign command warms every solver-backed experiment (CSP + SAT).
     observations: dict = {}
-    for kind in OBSERVATION_KINDS:
-        observations.update(
-            collect_observations_for(
-                kind,
-                config,
-                cache_dir=args.cache_dir,
-                backend=args.backend,
-                workers=args.workers,
-                progress=progress,
+    try:
+        for kind in OBSERVATION_KINDS:
+            observations.update(
+                collect_observations_for(
+                    kind,
+                    config,
+                    cache_dir=args.cache_dir,
+                    backend=backend,
+                    workers=args.workers if isinstance(backend, str) else None,
+                    progress=progress,
+                )
             )
-        )
+    finally:
+        if isinstance(backend, DistributedBackend):
+            backend.shutdown()  # lets connected workers exit cleanly
     summary = CampaignSummary.from_observations(config, observations)
     for key, batch in observations.items():
         print(
             f"{batch.label:<12s} runs={summary.n_runs[key]:<5d} "
             f"success-rate={summary.success_rates[key]:.2%}"
         )
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    if (args.connect is None) == (args.job_dir is None):
+        print("error: worker needs exactly one of --connect or --job-dir", file=sys.stderr)
+        return 2
+    if args.backend == "serial" and args.workers not in (None, 1):
+        print("error: --workers requires --backend thread or --backend process", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    executor = resolve_backend(args.backend, args.workers)
+    stats = run_worker(
+        coordinator=args.connect,
+        job_dir=args.job_dir,
+        executor=executor,
+        cache_dir=args.cache_dir,
+        poll_interval=args.poll_interval,
+        connect_timeout=args.connect_timeout,
+        max_units=args.max_units,
+        name=args.name,
+    )
+    print(
+        f"worker done: units={stats.units_completed} runs={stats.runs_completed} "
+        f"cache-hits={stats.cache_hits}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -256,6 +437,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_predict(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "worker":
+        return _command_worker(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
-import numpy as np
 from scipy import integrate, special
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Sequence
 
 import numpy as np
 from scipy import integrate, optimize

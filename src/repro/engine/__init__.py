@@ -12,8 +12,14 @@ instead of rolling its own loop or pool:
   interface with serial, thread-pool and spawn-context process-pool
   implementations, all yielding results as completed and supporting
   cancellation by closing the iterator early.
-* :mod:`repro.engine.tasks` — picklable run payloads and the shared worker
-  function.
+* :mod:`repro.engine.tasks` — picklable run payloads, the shared worker
+  function, and the work-unit protocol dataclasses used by the distributed
+  backend.
+* :mod:`repro.engine.distributed` — the multi-host backend: a coordinator
+  that serves work units to pull-based workers over a line-delimited JSON
+  socket protocol (or a filesystem job directory for queue/HPC settings),
+  with per-(task, seed-block) work stealing, re-issue on worker death and
+  idempotent result dedup.
 * :mod:`repro.engine.progress` — structured per-run progress events.
 * :mod:`repro.engine.cache` — content-addressed on-disk cache of collected
   batches, keyed by (solver, config, problem, seed), so repeated campaigns
@@ -23,7 +29,8 @@ instead of rolling its own loop or pool:
   tie-breaking).
 
 The engine's hard invariant: a given ``base_seed`` yields bit-identical
-iteration counts on every backend at any worker count.
+iteration counts on every backend at any worker count — including the
+distributed backend, regardless of which host ran which unit.
 """
 
 from repro.engine.backends import (
@@ -42,27 +49,52 @@ from repro.engine.core import (
     resolve_backend,
     run_race,
 )
+from repro.engine.distributed import (
+    DistributedBackend,
+    ProtocolError,
+    UnitLedger,
+    WorkerStats,
+    execute_unit,
+    run_worker,
+)
 from repro.engine.progress import BatchProgress, ProgressCallback
 from repro.engine.seeding import spawn_seeds
-from repro.engine.tasks import RunTask, execute_run
+from repro.engine.tasks import (
+    PROTOCOL_VERSION,
+    RunTask,
+    UnitResult,
+    WorkUnit,
+    execute_run,
+    shard_units,
+)
 
 __all__ = [
     "BACKENDS",
+    "PROTOCOL_VERSION",
     "BatchExecutor",
     "BatchProgress",
+    "DistributedBackend",
     "ObservationCache",
     "ProcessBackend",
     "ProgressCallback",
+    "ProtocolError",
     "RaceOutcome",
     "RunTask",
     "SerialBackend",
     "ThreadBackend",
+    "UnitLedger",
+    "UnitResult",
+    "WorkUnit",
+    "WorkerStats",
     "algorithm_fingerprint",
     "collect_batch",
     "default_worker_count",
     "execute_run",
+    "execute_unit",
     "pick_default_backend",
     "resolve_backend",
     "run_race",
+    "run_worker",
+    "shard_units",
     "spawn_seeds",
 ]

@@ -28,6 +28,7 @@ from repro.engine.backends import (
     ThreadBackend,
 )
 from repro.engine.cache import ObservationCache
+from repro.engine.distributed import DistributedBackend
 from repro.engine.progress import BatchProgress, ProgressCallback
 from repro.engine.seeding import spawn_seeds
 from repro.engine.tasks import RunTask, execute_run
@@ -41,6 +42,7 @@ BACKENDS: dict[str, type[BatchExecutor]] = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "distributed": DistributedBackend,
 }
 
 

@@ -5,11 +5,14 @@ COSTAS 21 with ~650 sequential runs and 50 parallel runs per core count on a
 256-core cluster.  Those instances need cluster-months of C code; this
 reproduction runs the same algorithm on scaled-down instances (the paper
 itself argues the distribution *shape* is stable across instance sizes for a
-given problem, which is what the prediction relies on).  Two profiles are
+given problem, which is what the prediction relies on).  Four profiles are
 provided:
 
+* ``tiny``  — smallest meaningful sizes, used by the fast unit tests.
 * ``quick`` — sized so the whole table/figure suite runs in minutes on a
   single laptop core (used by the test-suite and the benchmark harness).
+* ``medium`` — the nightly-CI campaign profile: larger than ``quick`` but
+  bounded by a hosted-runner budget.
 * ``full``  — larger instances and more runs for a closer reproduction.
 """
 
@@ -138,6 +141,24 @@ class ExperimentConfig:
     def quick(cls) -> "ExperimentConfig":
         """Laptop/CI profile: small instances, enough runs for stable fits."""
         return cls()
+
+    @classmethod
+    def medium(cls) -> "ExperimentConfig":
+        """Nightly-CI profile: between ``quick`` and ``full``.
+
+        Sized so a full campaign plus every table/figure finishes within a
+        hosted-runner budget while still stressing the heavy-tailed regime —
+        the first step toward the ROADMAP's paper-scale instances in CI.
+        """
+        return cls(
+            magic_square_n=4,
+            all_interval_n=14,
+            costas_n=11,
+            sat_n_variables=75,
+            n_sequential_runs=200,
+            n_parallel_runs=50,
+            max_iterations=500_000,
+        )
 
     @classmethod
     def full(cls) -> "ExperimentConfig":

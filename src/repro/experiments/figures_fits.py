@@ -13,7 +13,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Mapping
 
-import numpy as np
 
 from repro.core.fitting import FitResult, fit_distribution
 from repro.core.speedup import SpeedupCurve, SpeedupModel

@@ -50,7 +50,6 @@ import numpy as np
 
 from repro.csp.permutation import DeltaEvaluator, PermutationProblem
 from repro.evaluation import (
-    EVALUATION_MODES,
     EvaluationPath,
     resolve_evaluation_path,
     validate_evaluation_mode,

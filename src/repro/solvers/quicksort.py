@@ -16,7 +16,6 @@ negative example showing the model also predicts when parallelisation is
 
 from __future__ import annotations
 
-import sys
 
 import numpy as np
 

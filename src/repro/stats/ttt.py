@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.core.distributions.exponential import ShiftedExponential
 from repro.core.fitting.selection import fit_distribution
-from repro.stats.ecdf import empirical_cdf
 
 __all__ = ["TimeToTargetPlot", "time_to_target"]
 

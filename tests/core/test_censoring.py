@@ -1,6 +1,5 @@
 """Censored-run fitting, Kaplan–Meier survival and incomplete-algorithm model."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,8 +1,6 @@
 """Numerical order-statistic machinery against closed forms and Monte Carlo."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.core.distributions import (

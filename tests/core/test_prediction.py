@@ -1,6 +1,5 @@
 """High-level prediction API: observations in, speed-up curve out."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """SpeedupModel and SpeedupCurve."""
 
-import math
 
 import pytest
 

@@ -71,3 +71,77 @@ class TestParserShape:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             parse([])
+
+
+class TestDistributedCliFlags:
+    def test_medium_profile_sits_between_quick_and_full(self):
+        quick = _config_from_args(parse(["campaign", "--profile", "quick"]))
+        medium = _config_from_args(parse(["campaign", "--profile", "medium"]))
+        full = _config_from_args(parse(["campaign", "--profile", "full"]))
+        assert quick.n_sequential_runs < medium.n_sequential_runs < full.n_sequential_runs
+        assert quick.all_interval_n < medium.all_interval_n < full.all_interval_n
+
+    def test_distributed_requires_exactly_one_transport(self):
+        from repro.cli import _validate_engine_args
+
+        neither = parse(["campaign", "--backend", "distributed"])
+        assert "exactly one" in _validate_engine_args(neither)
+        both = parse(
+            ["campaign", "--backend", "distributed", "--coordinator", "h:1", "--job-dir", "d"]
+        )
+        assert "exactly one" in _validate_engine_args(both)
+        ok = parse(["campaign", "--backend", "distributed", "--coordinator", "h:1"])
+        assert _validate_engine_args(ok) is None
+
+    def test_distributed_rejects_workers(self):
+        from repro.cli import _validate_engine_args
+
+        args = parse(
+            ["campaign", "--backend", "distributed", "--coordinator", "h:1", "--workers", "4"]
+        )
+        assert "worker" in _validate_engine_args(args)
+
+    def test_transport_flags_require_distributed_backend(self):
+        from repro.cli import _validate_engine_args
+
+        args = parse(["campaign", "--backend", "process", "--coordinator", "h:1"])
+        assert "--backend distributed" in _validate_engine_args(args)
+        # Tuning flags are rejected too, not silently ignored.
+        args = parse(["campaign", "--backend", "process", "--unit-size", "32"])
+        assert "--backend distributed" in _validate_engine_args(args)
+        args = parse(["campaign", "--batch-timeout", "60"])
+        assert "--backend distributed" in _validate_engine_args(args)
+
+    def test_engine_backend_builds_a_configured_instance(self, tmp_path):
+        from repro.cli import _engine_backend
+        from repro.engine.distributed import DistributedBackend
+
+        args = parse(
+            [
+                "campaign",
+                "--backend",
+                "distributed",
+                "--job-dir",
+                str(tmp_path),
+                "--unit-size",
+                "7",
+            ]
+        )
+        backend = _engine_backend(args)
+        assert isinstance(backend, DistributedBackend)
+        assert backend.unit_size == 7
+        assert _engine_backend(parse(["campaign", "--backend", "process"])) == "process"
+
+    def test_worker_subcommand_defaults(self):
+        args = parse(["worker", "--connect", "127.0.0.1:7821"])
+        assert args.connect == "127.0.0.1:7821"
+        assert args.job_dir is None
+        assert args.backend == "serial"
+        assert args.cache_dir is None
+        assert args.connect_timeout == 30.0
+
+    def test_worker_command_requires_one_transport(self, capsys):
+        from repro.cli import main
+
+        assert main(["worker"]) == 2
+        assert "exactly one" in capsys.readouterr().err

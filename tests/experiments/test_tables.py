@@ -1,6 +1,5 @@
 """Tables 1–5 experiment functions."""
 
-import pytest
 
 from repro.experiments.config import BENCHMARK_KEYS
 from repro.experiments.tables import (

@@ -1,6 +1,5 @@
 """Randomized quicksort as a Las Vegas algorithm."""
 
-import math
 
 import numpy as np
 import pytest

@@ -6,7 +6,6 @@ validation — on instances small enough to keep the suite fast, plus
 synthetic ground-truth pipelines where the correct answer is known exactly.
 """
 
-import math
 
 import numpy as np
 import pytest
