@@ -36,8 +36,10 @@ from repro.engine.backends import BatchExecutor
 from repro.engine.core import BACKENDS, resolve_backend
 from repro.engine.distributed import DistributedBackend, run_worker
 from repro.engine.progress import BatchProgress
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import SAT_FAMILIES, ExperimentConfig
 from repro.experiments.data import CampaignSummary
+from repro.sat.dimacs import bundled_instance_names
+from repro.solvers.policies import POLICIES
 from repro.experiments.registry import (
     EXPERIMENTS,
     OBSERVATION_KINDS,
@@ -66,9 +68,41 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["n_sequential_runs"] = args.runs
     if getattr(args, "seed", None) is not None:
         overrides["base_seed"] = args.seed
+    if getattr(args, "sat_family", None) is not None:
+        overrides["sat_family"] = args.sat_family
+    if getattr(args, "sat_policy", None) is not None:
+        overrides["sat_policy"] = args.sat_policy
+    if getattr(args, "sat_dimacs", None) is not None:
+        overrides["sat_dimacs"] = args.sat_dimacs
     # dataclasses.replace keeps every other profile field (instance sizes,
     # SAT workload parameters, core counts) exactly as the profile set it.
     return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def _add_sat_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """SAT-workload flags shared by the ``run`` and ``campaign`` subcommands."""
+    parser.add_argument(
+        "--sat-family",
+        choices=SAT_FAMILIES,
+        default=None,
+        help="SAT instance family: planted (satisfiable by construction, default), "
+        "uniform (ratio-controlled draw, censoring-heavy near 4.27), or "
+        "dimacs (a bundled DIMACS file, see --sat-dimacs)",
+    )
+    parser.add_argument(
+        "--sat-policy",
+        choices=POLICIES,
+        default=None,
+        help="WalkSAT flip policy of the SAT workload (default: walksat/SKC)",
+    )
+    parser.add_argument(
+        "--sat-dimacs",
+        choices=bundled_instance_names(),
+        default=None,
+        metavar="NAME",
+        help="bundled DIMACS instance used with --sat-family dimacs "
+        f"(one of: {', '.join(bundled_instance_names())})",
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -143,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--profile", choices=PROFILES, default="quick")
     run_parser.add_argument("--runs", type=int, default=None, help="override sequential run count")
     run_parser.add_argument("--seed", type=int, default=None, help="override the base seed")
+    _add_sat_workload_arguments(run_parser)
     _add_engine_arguments(run_parser)
 
     predict_parser = subparsers.add_parser(
@@ -171,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--runs", type=int, default=None)
     campaign_parser.add_argument("--seed", type=int, default=None)
     campaign_parser.add_argument("--progress", action="store_true", help="print per-run progress")
+    _add_sat_workload_arguments(campaign_parser)
     _add_engine_arguments(campaign_parser)
 
     worker_parser = subparsers.add_parser(

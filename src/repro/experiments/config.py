@@ -26,17 +26,33 @@ import numpy as np
 from repro.csp.permutation import PermutationProblem
 from repro.csp.problems import AllIntervalProblem, CostasArrayProblem, MagicSquareProblem
 from repro.sat.cnf import CNFFormula
-from repro.sat.generators import random_planted_ksat
+from repro.sat.dimacs import DEFAULT_INSTANCE, bundled_instance_path, load_bundled_instance
+from repro.sat.generators import (
+    clause_count_for_ratio,
+    random_ksat,
+    random_planted_ksat,
+)
 from repro.solvers.adaptive_search import AdaptiveSearch, AdaptiveSearchConfig
+from repro.solvers.policies import validate_policy
 from repro.solvers.walksat import WalkSAT, WalkSATConfig
 
-__all__ = ["BENCHMARK_KEYS", "BenchmarkSpec", "ExperimentConfig", "SAT_KEY", "SATBenchmarkSpec"]
+__all__ = [
+    "BENCHMARK_KEYS",
+    "BenchmarkSpec",
+    "ExperimentConfig",
+    "SAT_FAMILIES",
+    "SAT_KEY",
+    "SATBenchmarkSpec",
+]
 
 #: Order in which the three benchmarks appear in every paper table.
 BENCHMARK_KEYS: tuple[str, ...] = ("MS", "AI", "Costas")
 
 #: Key of the SAT workload (the paper-conclusion extension) in campaign maps.
 SAT_KEY: str = "SAT"
+
+#: Instance families the SAT workload can draw from (``sat_family``).
+SAT_FAMILIES: tuple[str, ...] = ("planted", "uniform", "dimacs")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,24 +73,25 @@ class BenchmarkSpec:
 
 @dataclasses.dataclass(frozen=True)
 class SATBenchmarkSpec:
-    """The SAT workload row: planted k-SAT instance plus its display label.
+    """One SAT workload row: a CNF instance family plus its display label.
 
     Mirrors :class:`BenchmarkSpec` for the WalkSAT extension the paper's
     conclusion proposes; the formula factory is deterministic in the
-    experiment seed, so repeated campaigns hit the engine's
-    content-addressed observation cache.
+    experiment seed (or a fixed DIMACS file), so repeated campaigns hit
+    the engine's content-addressed observation cache.
     """
 
     key: str
     label: str
     formula_factory: Callable[[], CNFFormula]
     noise: float = 0.5
+    policy: str = "walksat"
 
     def make_solver(self, max_flips: int) -> WalkSAT:
-        """Instantiate the WalkSAT solver for this instance."""
+        """Instantiate the configured WalkSAT-family solver for this instance."""
         return WalkSAT(
             self.formula_factory(),
-            WalkSATConfig(max_flips=max_flips, noise=self.noise),
+            WalkSATConfig(max_flips=max_flips, noise=self.noise, policy=self.policy),
         )
 
 
@@ -87,10 +104,24 @@ class ExperimentConfig:
     magic_square_n, all_interval_n, costas_n:
         Instance sizes of the three benchmarks (the paper uses 200, 700, 21).
     sat_n_variables, sat_clause_ratio, sat_k:
-        Planted random k-SAT instance of the WalkSAT workload (the SAT
-        extension the paper's conclusion proposes); the default ratio 4.2
-        sits just under the 3-SAT phase transition (~4.27), where runtimes
-        are heavy-tailed.
+        Random k-SAT instance of the WalkSAT workload (the SAT extension
+        the paper's conclusion proposes); the default ratio 4.2 sits just
+        under the 3-SAT phase transition (~4.27), where runtimes are
+        heavy-tailed.  Ignored by the ``"dimacs"`` family, which loads a
+        fixed checked-in instance instead.
+    sat_family:
+        Instance family of the SAT workload: ``"planted"`` (satisfiable by
+        construction, the default), ``"uniform"`` (uniform draw at
+        ``sat_clause_ratio`` — satisfiability not guaranteed, so campaigns
+        are censoring-heavy and flow through the censoring-aware fits) or
+        ``"dimacs"`` (a bundled DIMACS file, see ``sat_dimacs``).
+    sat_policy:
+        Flip-picking policy of the SAT workload solver — one of
+        :data:`repro.solvers.policies.POLICIES` (``"walksat"``,
+        ``"novelty"``, ``"novelty+"``, ``"adaptive"``).
+    sat_dimacs:
+        Name of the bundled DIMACS instance used by the ``"dimacs"``
+        family (see :func:`repro.sat.dimacs.bundled_instance_names`).
     n_sequential_runs:
         Independent sequential runs collected per benchmark (paper: ~650).
     n_parallel_runs:
@@ -111,6 +142,9 @@ class ExperimentConfig:
     sat_n_variables: int = 50
     sat_clause_ratio: float = 4.2
     sat_k: int = 3
+    sat_family: str = "planted"
+    sat_policy: str = "walksat"
+    sat_dimacs: str = DEFAULT_INSTANCE
     n_sequential_runs: int = 80
     n_parallel_runs: int = 50
     cores: tuple[int, ...] = (16, 32, 64, 128, 256)
@@ -135,6 +169,15 @@ class ExperimentConfig:
             )
         if self.sat_clause_ratio <= 0.0:
             raise ValueError(f"sat_clause_ratio must be positive, got {self.sat_clause_ratio}")
+        if self.sat_family not in SAT_FAMILIES:
+            raise ValueError(
+                f"sat_family must be one of {SAT_FAMILIES}, got {self.sat_family!r}"
+            )
+        validate_policy(self.sat_policy)
+        if self.sat_family == "dimacs":
+            # Fail at configuration time, not minutes into a campaign when
+            # the SAT kind finally builds its formula.
+            bundled_instance_path(self.sat_dimacs)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -147,14 +190,19 @@ class ExperimentConfig:
         """Nightly-CI profile: between ``quick`` and ``full``.
 
         Sized so a full campaign plus every table/figure finishes within a
-        hosted-runner budget while still stressing the heavy-tailed regime —
-        the first step toward the ROADMAP's paper-scale instances in CI.
+        hosted-runner budget (the nightly workflow fails the campaign step
+        at 15 minutes) while stressing the heavy-tailed regime — one more
+        notch toward the ROADMAP's paper-scale instances now that every
+        hot path is incremental (was MS 4 / AI 14 / Costas 11 / SAT 75;
+        measured on the 1-core dev container the 200-run campaigns cost
+        ~90 s for MS 6, ~280 s for AI 16, ~50 s for Costas 13 and a few
+        seconds for SAT 150 across all four policies, ≈ 8 minutes total).
         """
         return cls(
-            magic_square_n=4,
-            all_interval_n=14,
-            costas_n=11,
-            sat_n_variables=75,
+            magic_square_n=6,
+            all_interval_n=16,
+            costas_n=13,
+            sat_n_variables=150,
             n_sequential_runs=200,
             n_parallel_runs=50,
             max_iterations=500_000,
@@ -162,12 +210,17 @@ class ExperimentConfig:
 
     @classmethod
     def full(cls) -> "ExperimentConfig":
-        """Longer campaign: larger instances, paper-scale run counts."""
+        """Longer campaign: larger instances, paper-scale run counts.
+
+        Kept a strict notch above ``medium`` (which the nightly CI grew to
+        MS 6 / AI 16 / Costas 13 / SAT 150) on every axis, with the flip
+        budget raised to keep the larger instances solvable-not-censored.
+        """
         return cls(
-            magic_square_n=5,
-            all_interval_n=16,
-            costas_n=12,
-            sat_n_variables=100,
+            magic_square_n=7,
+            all_interval_n=18,
+            costas_n=14,
+            sat_n_variables=200,
             n_sequential_runs=400,
             n_parallel_runs=50,
             max_iterations=2_000_000,
@@ -212,28 +265,64 @@ class ExperimentConfig:
             ),
         }
 
-    def sat_benchmark(self) -> SATBenchmarkSpec:
-        """The planted 3-SAT WalkSAT workload at this configuration's size.
+    def sat_benchmark(self, policy: str | None = None) -> SATBenchmarkSpec:
+        """The configured SAT workload (family × policy) at this size.
 
-        The instance is drawn deterministically from the configuration's
-        seed (independent of the per-run seed streams), so two invocations
-        with the same configuration solve the *same* formula — which is
-        what makes SAT campaigns cacheable by content address.
+        Generated instances are drawn deterministically from the
+        configuration's seed (independent of the per-run seed streams) and
+        the DIMACS family loads a fixed checked-in file, so two
+        invocations with the same configuration solve the *same* formula —
+        which is what makes SAT campaigns cacheable by content address
+        (and bit-comparable across hosts and backends).
+
+        ``policy`` overrides ``sat_policy`` — used by the policy-family
+        campaign, which collects one batch per registered policy.
         """
+        policy = self.sat_policy if policy is None else policy
         n = self.sat_n_variables
-        n_clauses = max(1, int(round(self.sat_clause_ratio * n)))
+        n_clauses = clause_count_for_ratio(n, self.sat_clause_ratio)
         k = self.sat_k
-        instance_seed = (self.base_seed, 0x5A7)  # distinct root: instance, not runs
 
-        def formula_factory() -> CNFFormula:
-            rng = np.random.default_rng(instance_seed)
-            formula, _planted = random_planted_ksat(n, n_clauses, k, rng=rng)
-            return formula
+        if self.sat_family == "planted":
+            # Distinct root: the instance draw must not correlate with runs.
+            instance_seed = (self.base_seed, 0x5A7)
 
+            def formula_factory() -> CNFFormula:
+                rng = np.random.default_rng(instance_seed)
+                formula, _planted = random_planted_ksat(n, n_clauses, k, rng=rng)
+                return formula
+
+            label = f"{k}-SAT {n}@{self.sat_clause_ratio:g}"
+        elif self.sat_family == "uniform":
+            # Different root from the planted draw so the two families never
+            # share an instance even at identical sizes.  The constant was
+            # picked (once, offline) so the default profiles' draws at the
+            # default base seed are satisfiable-but-hard: a satisfiable
+            # instance keeps ``sat_portfolio`` meaningful while the heavy
+            # tail still censors runs at tight budgets (nearby constants
+            # give unsatisfiable draws at n=50 or n=150).
+            instance_seed = (self.base_seed, 0x5AA)
+
+            def formula_factory() -> CNFFormula:
+                rng = np.random.default_rng(instance_seed)
+                return random_ksat(n, n_clauses, k, rng=rng)
+
+            label = f"uniform {k}-SAT {n}@{self.sat_clause_ratio:g}"
+        else:  # "dimacs" (family and instance name validated in __post_init__)
+            name = self.sat_dimacs
+
+            def formula_factory() -> CNFFormula:
+                return load_bundled_instance(name)
+
+            label = f"dimacs {name}"
+
+        if policy != "walksat":
+            label = f"{label} [{policy}]"
         return SATBenchmarkSpec(
             key=SAT_KEY,
-            label=f"{k}-SAT {n}@{self.sat_clause_ratio:g}",
+            label=label,
             formula_factory=formula_factory,
+            policy=policy,
         )
 
     #: Distribution family the paper fits to each benchmark (Section 6).

@@ -28,6 +28,7 @@ from repro.multiwalk.observations import RuntimeObservations
 __all__ = [
     "collect_benchmark_observations",
     "collect_sat_observations",
+    "collect_sat_policy_observations",
     "clear_observation_cache",
 ]
 
@@ -52,13 +53,16 @@ def _config_fingerprint(config: ExperimentConfig) -> tuple:
     )
 
 
-def _sat_fingerprint(config: ExperimentConfig) -> tuple:
-    """Hashable identity of the config parts that affect the SAT campaign."""
+def _sat_fingerprint(config: ExperimentConfig, kind: str = "sat") -> tuple:
+    """Hashable identity of the config parts that affect the SAT campaigns."""
     return (
-        "sat",
+        kind,
         config.sat_n_variables,
         config.sat_clause_ratio,
         config.sat_k,
+        config.sat_family,
+        config.sat_policy,
+        config.sat_dimacs,
         config.n_sequential_runs,
         config.max_iterations,
         config.base_seed,
@@ -128,13 +132,15 @@ def collect_sat_observations(
     workers: int | None = None,
     progress: ProgressCallback | None = None,
 ) -> Mapping[str, RuntimeObservations]:
-    """Run (or reuse) the sequential WalkSAT campaign on the planted 3-SAT instance.
+    """Run (or reuse) the sequential WalkSAT campaign on the configured SAT workload.
 
-    Same contract as :func:`collect_benchmark_observations` — engine-routed
-    execution on any backend with bit-identical flip counts, in-process
-    memoisation per configuration, and optional content-addressed disk
-    persistence — for the SAT workload the paper's conclusion proposes.
-    Returns a single-entry mapping keyed by
+    The instance family (planted / uniform / DIMACS) and the flip policy
+    come from ``config.sat_family`` / ``config.sat_policy``.  Same contract
+    as :func:`collect_benchmark_observations` — engine-routed execution on
+    any backend with bit-identical flip counts, in-process memoisation per
+    configuration, and optional content-addressed disk persistence — for
+    the SAT workload the paper's conclusion proposes.  Returns a
+    single-entry mapping keyed by
     :data:`~repro.experiments.config.SAT_KEY` so SAT campaigns compose with
     the benchmark ones.
     """
@@ -159,6 +165,63 @@ def collect_sat_observations(
 
     _CACHE[fingerprint] = {SAT_KEY: observations}
     return {SAT_KEY: observations}
+
+
+def collect_sat_policy_observations(
+    config: ExperimentConfig,
+    *,
+    cache_dir: str | Path | None = None,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> Mapping[str, RuntimeObservations]:
+    """Run (or reuse) one WalkSAT campaign per registered flip policy.
+
+    Every policy runs on the *same* configured instance with the *same*
+    seed stream (``base_seed + 3``, the root the single-policy SAT
+    campaign uses), so the batches differ only in the policy — the SAT
+    analogue of comparing solvers on a fixed benchmark.  Keys are
+    ``"SAT/<policy>"``; the configured policy's batch is the one
+    :func:`collect_sat_observations` collects (identical solver, seed root
+    and label), so it is *reused* here — through the in-process memo even
+    without a disk cache — rather than executed a second time.
+    """
+    from repro.solvers.policies import POLICIES
+
+    fingerprint = _sat_fingerprint(config, kind="sat_policies")
+    if fingerprint in _CACHE:
+        return dict(_CACHE[fingerprint])
+
+    disk_cache = ObservationCache(cache_dir) if cache_dir is not None else None
+    observations: dict[str, RuntimeObservations] = {}
+    for policy in POLICIES:
+        if policy == config.sat_policy:
+            # The single-policy campaign already covers this exact batch;
+            # its collector memoises in-process and persists on disk, so a
+            # `campaign` invocation never runs the default policy twice.
+            observations[f"{SAT_KEY}/{policy}"] = collect_sat_observations(
+                config,
+                cache_dir=cache_dir,
+                backend=backend,
+                workers=workers,
+                progress=progress,
+            )[SAT_KEY]
+            continue
+        spec = config.sat_benchmark(policy=policy)
+        solver = spec.make_solver(config.max_iterations)
+        observations[f"{SAT_KEY}/{policy}"] = collect_batch(
+            solver,
+            config.n_sequential_runs,
+            base_seed=config.base_seed + len(BENCHMARK_KEYS),
+            label=spec.label,
+            backend=backend,
+            workers=workers,
+            progress=progress,
+            cache=disk_cache,
+        )
+
+    _CACHE[fingerprint] = dict(observations)
+    return dict(observations)
 
 
 @dataclasses.dataclass(frozen=True)

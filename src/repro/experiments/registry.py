@@ -15,7 +15,11 @@ import dataclasses
 from typing import Callable, Mapping
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import collect_benchmark_observations, collect_sat_observations
+from repro.experiments.data import (
+    collect_benchmark_observations,
+    collect_sat_observations,
+    collect_sat_policy_observations,
+)
 from repro.experiments import figures_experiments, figures_fits, figures_model, sat, tables
 
 __all__ = [
@@ -28,12 +32,13 @@ __all__ = [
 ]
 
 #: Observation-campaign kinds an experiment can declare.
-OBSERVATION_KINDS: tuple[str, ...] = ("benchmarks", "sat")
+OBSERVATION_KINDS: tuple[str, ...] = ("benchmarks", "sat", "sat_policies")
 
 #: Campaign collectors per kind (signature of collect_benchmark_observations).
 _COLLECTORS: Mapping[str, Callable] = {
     "benchmarks": collect_benchmark_observations,
     "sat": collect_sat_observations,
+    "sat_policies": collect_sat_policy_observations,
 }
 
 
@@ -86,8 +91,9 @@ EXPERIMENTS: Mapping[str, ExperimentEntry] = {
     "figure12": ExperimentEntry(figures_fits.figure12_costas_fit, "benchmarks", "COSTAS histogram + exponential fit"),
     "figure13": ExperimentEntry(figures_fits.figure13_costas_prediction, "benchmarks", "Predicted speed-up, COSTAS"),
     "figure14": ExperimentEntry(figures_experiments.figure14_costas_extended, "benchmarks", "COSTAS speed-up at large core counts"),
-    "sat_flips": ExperimentEntry(sat.sat_flips_table, "sat", "Sequential WalkSAT flips, planted 3-SAT"),
+    "sat_flips": ExperimentEntry(sat.sat_flips_table, "sat", "Sequential WalkSAT flips on the configured SAT workload"),
     "sat_portfolio": ExperimentEntry(sat.sat_portfolio_table, "sat", "Measured vs predicted WalkSAT portfolio speed-ups"),
+    "sat_policies": ExperimentEntry(sat.sat_policy_table, "sat_policies", "WalkSAT/Novelty/Novelty+/adaptive flips on one instance"),
 }
 
 

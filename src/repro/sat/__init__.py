@@ -10,7 +10,18 @@ terminate with probability one).
 """
 
 from repro.sat.cnf import CNFFormula, Clause
-from repro.sat.generators import random_ksat, random_planted_ksat
+from repro.sat.dimacs import (
+    DEFAULT_INSTANCE,
+    bundled_instance_names,
+    bundled_instance_path,
+    load_bundled_instance,
+)
+from repro.sat.generators import (
+    clause_count_for_ratio,
+    random_ksat,
+    random_ksat_at_ratio,
+    random_planted_ksat,
+)
 from repro.sat.incremental import (
     BatchClausePath,
     ClauseEvaluator,
@@ -26,7 +37,13 @@ __all__ = [
     "ClauseEvaluator",
     "ClausePath",
     "ClauseState",
+    "DEFAULT_INSTANCE",
     "IncrementalClausePath",
+    "bundled_instance_names",
+    "bundled_instance_path",
+    "clause_count_for_ratio",
+    "load_bundled_instance",
     "random_ksat",
+    "random_ksat_at_ratio",
     "random_planted_ksat",
 ]

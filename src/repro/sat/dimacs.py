@@ -1,0 +1,53 @@
+"""Bundled DIMACS CNF instances for the DIMACS-backed SAT workload family.
+
+A small checked-in set of uniform random 3-SAT instances in DIMACS format,
+SATLIB-style: each is a uniform draw at the named size that was kept
+because it is satisfiable (the ``uf20`` pair is verified by exhaustive
+enumeration, the larger ones by a WalkSAT solution — provenance is in each
+file's ``c`` comment header).  They give campaigns a *fixed* instance —
+unlike the generated families, two hosts need no shared RNG to agree on
+the formula — and they exercise :meth:`CNFFormula.from_dimacs_file` on the
+real workload path, not just in parser tests.
+
+The set is deliberately tiny (a few kilobytes): it anchors the DIMACS
+loading path and the ``--sat-family dimacs`` campaigns; pointing
+``load_bundled_instance`` at a competition-scale file is just a matter of
+dropping it into the ``instances/`` directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sat.cnf import CNFFormula
+
+__all__ = ["DEFAULT_INSTANCE", "bundled_instance_names", "bundled_instance_path", "load_bundled_instance"]
+
+#: Directory holding the checked-in ``.cnf`` files (packaged as data).
+_INSTANCE_DIR = Path(__file__).resolve().parent / "instances"
+
+#: Instance used when a DIMACS-backed workload does not name one.
+DEFAULT_INSTANCE = "uf20-91-s1"
+
+
+def bundled_instance_names() -> tuple[str, ...]:
+    """Names of the checked-in DIMACS instances (sorted, without ``.cnf``)."""
+    return tuple(sorted(path.stem for path in _INSTANCE_DIR.glob("*.cnf")))
+
+
+def bundled_instance_path(name: str) -> Path:
+    """Path of a bundled instance, validating the name."""
+    path = _INSTANCE_DIR / f"{name}.cnf"
+    if not path.is_file():
+        known = ", ".join(bundled_instance_names()) or "<none>"
+        raise ValueError(f"unknown DIMACS instance {name!r}; bundled instances: {known}")
+    return path
+
+
+def load_bundled_instance(name: str = DEFAULT_INSTANCE) -> CNFFormula:
+    """Parse a bundled instance via :meth:`CNFFormula.from_dimacs_file`.
+
+    ``strict=True``: the bundled headers are machine-generated, so a
+    count mismatch would mean a corrupted checkout, not a sloppy header.
+    """
+    return CNFFormula.from_dimacs_file(bundled_instance_path(name), strict=True)

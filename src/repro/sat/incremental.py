@@ -230,6 +230,10 @@ class ClausePath(EvaluationPath):
         """WalkSAT break score of ``variable`` under the current assignment."""
 
     @abc.abstractmethod
+    def make_count(self, variable: int) -> int:
+        """WalkSAT make score of ``variable`` (used by the Novelty family)."""
+
+    @abc.abstractmethod
     def flip(self, variable: int) -> None:
         """Flip ``variable`` and update the maintained state."""
 
@@ -260,6 +264,9 @@ class IncrementalClausePath(ClausePath):
 
     def break_count(self, variable: int) -> int:
         return self._evaluator.break_count(self._state, variable)
+
+    def make_count(self, variable: int) -> int:
+        return self._evaluator.make_count(self._state, variable)
 
     def flip(self, variable: int) -> None:
         self._evaluator.flip(self._state, variable)
@@ -298,6 +305,9 @@ class BatchClausePath(ClausePath):
 
     def break_count(self, variable: int) -> int:
         return self._formula.break_count(self._state.assignment, variable)
+
+    def make_count(self, variable: int) -> int:
+        return self._formula.make_count(self._state.assignment, variable)
 
     def flip(self, variable: int) -> None:
         state = self._state

@@ -6,25 +6,31 @@
   Adaptive Search constraint-based local-search metaheuristic.
 * :mod:`repro.solvers.random_restart` — a plain min-conflict hill climber
   with random restarts, used as a baseline Las Vegas algorithm.
-* :mod:`repro.solvers.walksat` — WalkSAT on CNF formulas (the paper's
-  future-work section explicitly names SAT solvers).
+* :mod:`repro.solvers.walksat` — the WalkSAT family on CNF formulas (the
+  paper's future-work section explicitly names SAT solvers).
+* :mod:`repro.solvers.policies` — the pluggable flip-picking policies of
+  the WalkSAT family (SKC, Novelty, Novelty+, adaptive noise).
 * :mod:`repro.solvers.quicksort` — randomized quicksort comparison counts
   (the paper's other named future-work example).
 """
 
 from repro.solvers.adaptive_search import AdaptiveSearch, AdaptiveSearchConfig
 from repro.solvers.base import LasVegasAlgorithm, RunResult
+from repro.solvers.policies import POLICIES, FlipPolicy, make_policy
 from repro.solvers.quicksort import RandomizedQuicksort
 from repro.solvers.random_restart import RandomRestartSearch
 from repro.solvers.walksat import WalkSAT, WalkSATConfig
 
 __all__ = [
+    "POLICIES",
     "AdaptiveSearch",
     "AdaptiveSearchConfig",
+    "FlipPolicy",
     "LasVegasAlgorithm",
     "RandomizedQuicksort",
     "RandomRestartSearch",
     "RunResult",
     "WalkSAT",
     "WalkSATConfig",
+    "make_policy",
 ]

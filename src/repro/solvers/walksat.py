@@ -1,4 +1,4 @@
-"""WalkSAT — stochastic local search for SAT (extension Las Vegas algorithm).
+"""WalkSAT family — stochastic local search for SAT (extension Las Vegas algorithms).
 
 The paper's conclusion proposes applying the prediction model to SAT
 solvers; WalkSAT (Selman, Kautz & Cohen) is the canonical stochastic local
@@ -6,16 +6,15 @@ search SAT procedure and the engine behind the portfolio approaches the
 paper cites.  One *flip* is counted as one iteration, making the iteration
 counts directly comparable with the Adaptive Search benchmarks.
 
-Algorithm (WalkSAT/SKC variant):
+Shared skeleton (every policy):
 
 1. start from a uniformly random assignment;
 2. pick an unsatisfied clause uniformly at random;
-3. if some variable in it has break-count zero (flipping it breaks no
-   currently-satisfied clause), flip such a "free" variable;
-4. otherwise, with probability ``noise`` flip a random variable of the
-   clause, and with probability ``1 - noise`` flip the variable with the
-   minimum break-count;
-5. repeat until the formula is satisfied or the flip budget is exhausted.
+3. flip the variable of that clause chosen by the configured
+   :class:`~repro.solvers.policies.FlipPolicy` — WalkSAT/SKC, Novelty,
+   Novelty+ or adaptive noise (see :mod:`repro.solvers.policies`);
+4. repeat until the formula is satisfied or the flip budget is exhausted,
+   re-randomising every ``restart_after`` flips when restarts are enabled.
 
 Evaluation paths
 ----------------
@@ -24,10 +23,12 @@ the *incremental* clause state (per-variable occurrence lists and cached
 per-clause true-literal counts, O(occurrences of the flipped variable) per
 flip) or the *batch* oracle (full re-evaluation through the vectorised
 :class:`~repro.sat.cnf.CNFFormula` methods).  The two are exact mirrors:
-for a given seed they present the same clause for the same RNG draw and
-produce bit-identical flip sequences, solutions and restart counts — the
-same contract :class:`~repro.solvers.adaptive_search.AdaptiveSearch` pins
-for its delta kernels (see :mod:`repro.evaluation`).
+for a given seed and policy they present the same clause for the same RNG
+draw and produce bit-identical flip sequences, solutions and restart
+counts — the same contract :class:`~repro.solvers.adaptive_search.AdaptiveSearch`
+pins for its delta kernels (see :mod:`repro.evaluation`).  Policies only
+query the path surface (``break_count``/``make_count``/``n_unsat``), which
+is what extends the contract to the whole variant family.
 """
 
 from __future__ import annotations
@@ -40,13 +41,14 @@ from repro.evaluation import resolve_evaluation_path, validate_evaluation_mode
 from repro.sat.cnf import CNFFormula
 from repro.sat.incremental import BatchClausePath, ClausePath, IncrementalClausePath
 from repro.solvers.base import LasVegasAlgorithm, RunResult
+from repro.solvers.policies import FlipPolicy, make_policy, validate_policy
 
 __all__ = ["WalkSAT", "WalkSATConfig"]
 
 
 @dataclasses.dataclass(frozen=True)
 class WalkSATConfig:
-    """Parameters of the WalkSAT solver.
+    """Parameters of the WalkSAT solver family.
 
     Attributes
     ----------
@@ -54,10 +56,26 @@ class WalkSATConfig:
         Hard per-run flip budget; runs hitting it are reported as unsolved
         (censored observations).
     noise:
-        Probability of a random walk move when no free variable exists.
-        ``noise=0`` is deterministic greedy (always the minimum-break
-        variable, ties broken uniformly); ``noise=1`` is a pure random walk
-        over the picked clause's variables.
+        Noise parameter of the configured policy.  For ``"walksat"``:
+        probability of a random walk move when no free variable exists
+        (``noise=0`` is deterministic greedy, ``noise=1`` a pure random
+        walk over the picked clause).  For the Novelty family: probability
+        of taking the second-best variable when the best one is the most
+        recently flipped.  For ``"adaptive"``: the *initial* noise the
+        online adaptation starts from.
+    policy:
+        Flip-picking policy: ``"walksat"`` (SKC, the default),
+        ``"novelty"``, ``"novelty+"`` or ``"adaptive"`` — see
+        :mod:`repro.solvers.policies`.
+    walk_probability:
+        Random-walk escape probability of ``"novelty+"`` (ignored by the
+        other policies; Hoos 1999 recommends a small value).
+    adaptive_theta, adaptive_phi:
+        Adaptive-noise tuning of ``"adaptive"`` (ignored by the other
+        policies): stagnation is declared after ``adaptive_theta *
+        n_clauses`` flips without a new unsat-count minimum, and the noise
+        moves by the relative step ``adaptive_phi`` (Hoos 2002 uses 1/6
+        and 0.2).
     restart_after:
         Re-randomise the assignment every ``restart_after`` flips;
         ``None`` disables restarts.
@@ -65,11 +83,15 @@ class WalkSATConfig:
         Evaluation path: ``"auto"`` (default) uses the incremental clause
         state — for SAT it wins at every instance size; ``"incremental"``
         demands it; ``"batch"`` forces the full re-evaluation oracle.
-        Both paths produce bit-identical runs for a given seed.
+        Both paths produce bit-identical runs for a given seed and policy.
     """
 
     max_flips: int = 100_000
     noise: float = 0.5
+    policy: str = "walksat"
+    walk_probability: float = 0.01
+    adaptive_theta: float = 1.0 / 6.0
+    adaptive_phi: float = 0.2
     restart_after: int | None = None
     evaluation: str = "auto"
 
@@ -78,18 +100,28 @@ class WalkSATConfig:
             raise ValueError(f"max_flips must be >= 1, got {self.max_flips}")
         if not 0.0 <= self.noise <= 1.0:
             raise ValueError(f"noise must be in [0, 1], got {self.noise}")
+        validate_policy(self.policy)
+        if not 0.0 <= self.walk_probability <= 1.0:
+            raise ValueError(
+                f"walk_probability must be in [0, 1], got {self.walk_probability}"
+            )
+        if self.adaptive_theta <= 0.0:
+            raise ValueError(f"adaptive_theta must be positive, got {self.adaptive_theta}")
+        if not 0.0 <= self.adaptive_phi <= 1.0:
+            raise ValueError(f"adaptive_phi must be in [0, 1], got {self.adaptive_phi}")
         if self.restart_after is not None and self.restart_after < 1:
             raise ValueError(f"restart_after must be >= 1 or None, got {self.restart_after}")
         validate_evaluation_mode(self.evaluation)
 
 
 class WalkSAT(LasVegasAlgorithm):
-    """WalkSAT/SKC over a CNF formula."""
+    """WalkSAT-family solver over a CNF formula (policy-pluggable)."""
 
     def __init__(self, formula: CNFFormula, config: WalkSATConfig | None = None) -> None:
         self.formula = formula
         self.config = config or WalkSATConfig()
-        self.name = f"walksat[{formula.n_variables}v/{formula.n_clauses}c]"
+        suffix = "" if self.config.policy == "walksat" else f"/{self.config.policy}"
+        self.name = f"walksat[{formula.n_variables}v/{formula.n_clauses}c]{suffix}"
 
     # ------------------------------------------------------------------
     def _clause_path(self) -> ClausePath:
@@ -101,12 +133,27 @@ class WalkSAT(LasVegasAlgorithm):
             incremental_requirement="incremental ClauseEvaluator",
         )
 
+    def _make_policy(self) -> FlipPolicy:
+        """Fresh per-run policy object (policies are stateful)."""
+        config = self.config
+        return make_policy(
+            config.policy,
+            noise=config.noise,
+            walk_probability=config.walk_probability,
+            adaptive_theta=config.adaptive_theta,
+            adaptive_phi=config.adaptive_phi,
+            n_variables=self.formula.n_variables,
+            n_clauses=self.formula.n_clauses,
+        )
+
     def _run(self, rng: np.random.Generator) -> RunResult:
         formula = self.formula
         config = self.config
 
         path = self._clause_path()
+        policy = self._make_policy()
         path.reinit(formula.random_assignment(rng))
+        policy.start(path)
         flips = 0
         restarts = 0
         flips_since_restart = 0
@@ -117,6 +164,7 @@ class WalkSAT(LasVegasAlgorithm):
                 and flips_since_restart >= config.restart_after
             ):
                 path.reinit(formula.random_assignment(rng))
+                policy.restart(path)
                 restarts += 1
                 flips_since_restart = 0
                 continue
@@ -124,20 +172,12 @@ class WalkSAT(LasVegasAlgorithm):
             clause_index = path.unsat_clause(int(rng.integers(path.n_unsat)))
             clause = formula.clauses[clause_index]
             variables = [abs(lit) - 1 for lit in clause]
-            breaks = np.array([path.break_count(var) for var in variables], dtype=np.int64)
-
-            if (breaks == 0).any():
-                candidates = np.flatnonzero(breaks == 0)
-                chosen = variables[int(candidates[rng.integers(candidates.size)])]
-            elif rng.random() < config.noise:
-                chosen = variables[int(rng.integers(len(variables)))]
-            else:
-                candidates = np.flatnonzero(breaks == breaks.min())
-                chosen = variables[int(candidates[rng.integers(candidates.size)])]
+            chosen = policy.pick(path, variables, rng)
 
             path.flip(chosen)
             flips += 1
             flips_since_restart += 1
+            policy.notify_flip(chosen, flips, path)
 
         solved = path.n_unsat == 0
         return RunResult(

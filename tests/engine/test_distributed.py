@@ -517,3 +517,46 @@ class TestBackendConfiguration:
                 collect_batch(SyntheticAlgorithm(), 4, base_seed=0, backend=backend)
         finally:
             backend.shutdown()
+
+
+class TestSATWorkloadFamilies:
+    """ISSUE-5 acceptance: the uniform-ratio and DIMACS SAT workloads (and
+    the non-default policies) flow end-to-end through the distributed
+    backend + observation cache, bit-identical to serial collection."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            pytest.param({"sat_family": "uniform"}, id="uniform"),
+            pytest.param({"sat_family": "dimacs"}, id="dimacs"),
+            pytest.param({"sat_family": "uniform", "sat_policy": "novelty+"}, id="uniform-novelty+"),
+        ],
+    )
+    def test_sat_campaign_jobdir_bit_identical_to_serial(self, tmp_path, overrides):
+        import dataclasses
+
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.data import clear_observation_cache, collect_sat_observations
+
+        config = dataclasses.replace(
+            ExperimentConfig.tiny(), n_sequential_runs=8, **overrides
+        )
+        clear_observation_cache()
+        serial = collect_sat_observations(config, cache_dir=tmp_path / "serial")["SAT"]
+        clear_observation_cache()
+        backend = DistributedBackend(job_dir=tmp_path / "jobs", poll_interval=0.01)
+        backend.start()
+        workers = _spawn_workers(2, job_dir=tmp_path / "jobs")
+        try:
+            distributed = collect_sat_observations(
+                config, cache_dir=tmp_path / "dist", backend=backend
+            )["SAT"]
+        finally:
+            backend.shutdown()
+            _join_workers(workers)
+            clear_observation_cache()
+        assert _deterministic_fields(distributed) == _deterministic_fields(serial)
+        # Both collections persisted the batch under the same content address.
+        serial_files = sorted(p.name for p in (tmp_path / "serial").glob("*.json"))
+        dist_files = sorted(p.name for p in (tmp_path / "dist").glob("*.json"))
+        assert serial_files == dist_files and len(serial_files) == 1

@@ -39,6 +39,49 @@ class TestConfigFromArgs:
         config = _config_from_args(parse(["campaign", "--profile", "tiny", "--runs", "3"]))
         assert config.n_sequential_runs == 3
 
+    def test_sat_family_and_policy_overrides(self):
+        args = parse(
+            [
+                "campaign",
+                "--profile",
+                "tiny",
+                "--sat-family",
+                "uniform",
+                "--sat-policy",
+                "novelty+",
+            ]
+        )
+        config = _config_from_args(args)
+        assert config.sat_family == "uniform"
+        assert config.sat_policy == "novelty+"
+
+    def test_sat_dimacs_override(self):
+        config = _config_from_args(
+            parse(
+                [
+                    "run",
+                    "sat_flips",
+                    "--sat-family",
+                    "dimacs",
+                    "--sat-dimacs",
+                    "uf50-218-s1",
+                ]
+            )
+        )
+        assert config.sat_family == "dimacs"
+        assert config.sat_dimacs == "uf50-218-s1"
+
+    def test_sat_flags_default_to_the_profile_values(self):
+        config = _config_from_args(parse(["campaign", "--profile", "tiny"]))
+        assert config.sat_family == "planted"
+        assert config.sat_policy == "walksat"
+
+    def test_unknown_sat_policy_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            parse(["campaign", "--sat-policy", "gsat"])
+        with pytest.raises(SystemExit):
+            parse(["campaign", "--sat-family", "satlib"])
+
     def test_overrides_keep_the_profile_sat_instance(self):
         # dataclasses.replace semantics: --runs/--seed must not reset the
         # profile's SAT workload parameters back to the class defaults.

@@ -10,15 +10,17 @@ from repro.experiments.report import format_series, format_table
 class TestRegistry:
     def test_every_paper_table_and_figure_is_registered(self):
         expected = {f"table{i}" for i in range(1, 6)} | {f"figure{i}" for i in range(1, 15)}
-        expected |= {"sat_flips", "sat_portfolio"}  # the paper-conclusion SAT extension
+        # The paper-conclusion SAT extension and its policy family.
+        expected |= {"sat_flips", "sat_portfolio", "sat_policies"}
         assert expected == set(EXPERIMENTS)
 
     def test_entries_declare_valid_observation_kinds(self):
         for entry in EXPERIMENTS.values():
-            assert entry.observations in (None, "benchmarks", "sat")
+            assert entry.observations in (None, "benchmarks", "sat", "sat_policies")
         assert EXPERIMENTS["table1"].observations == "benchmarks"
         assert EXPERIMENTS["figure3"].observations is None
         assert EXPERIMENTS["sat_portfolio"].observations == "sat"
+        assert EXPERIMENTS["sat_policies"].observations == "sat_policies"
 
     def test_list_experiments_descriptions(self):
         listing = dict(list_experiments())
@@ -130,7 +132,9 @@ class TestCLI:
         clear_observation_cache()
         assert main(["campaign", "--profile", "tiny", "--cache", str(tmp_path)]) == 0
         files = sorted(tmp_path.glob("observations-*.json"))
-        assert len(files) == 4  # MS, AI, Costas + the SAT workload
+        # MS, AI, Costas, the SAT workload, and the three non-default
+        # policies of the policy family (walksat shares the SAT entry).
+        assert len(files) == 7
         stamps = [f.stat().st_mtime_ns for f in files]
         clear_observation_cache()
         assert main(["campaign", "--profile", "tiny", "--cache", str(tmp_path)]) == 0
