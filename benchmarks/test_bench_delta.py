@@ -54,7 +54,7 @@ def _iterations_per_second(problem, mode: str, budget: int, n_runs: int):
 
 @pytest.mark.benchmark(group="delta-throughput")
 @pytest.mark.parametrize("instance", INSTANCES, ids=[spec[0] for spec in INSTANCES])
-def test_incremental_vs_batch_throughput(benchmark, instance, request):
+def test_incremental_vs_batch_throughput(benchmark, instance, request, bench_results):
     label, factory, budget, n_runs = instance
     problem = factory()
     batch_iterations, batch_ips = _iterations_per_second(problem, "batch", budget, n_runs)
@@ -67,6 +67,14 @@ def test_incremental_vs_batch_throughput(benchmark, instance, request):
     )
     # Bit-identical trajectories: same total work on both paths.
     assert incremental_iterations == batch_iterations
+    bench_results.record(
+        f"delta-throughput[{label}]",
+        "incremental_vs_batch_speedup",
+        incremental_ips / batch_ips,
+        instance=label,
+        incremental_iterations_per_second=incremental_ips,
+        batch_iterations_per_second=batch_ips,
+    )
     print_once(
         request,
         f"delta-throughput[{label}]: incremental {incremental_ips:,.0f} it/s "
@@ -75,7 +83,7 @@ def test_incremental_vs_batch_throughput(benchmark, instance, request):
 
 
 @pytest.mark.benchmark(group="delta-speedup")
-def test_nqueens64_incremental_speedup_gate(benchmark):
+def test_nqueens64_incremental_speedup_gate(benchmark, bench_results):
     """ISSUE-2 acceptance: >= 3x iterations/second on N-Queens n=64.
 
     Asserted only under ``REPRO_ASSERT_SPEEDUP=1`` (timing gates are
@@ -93,6 +101,13 @@ def test_nqueens64_incremental_speedup_gate(benchmark):
     )
     assert incremental_iterations == batch_iterations
     ratio = incremental_ips / batch_ips
+    bench_results.record(
+        "delta-speedup[n-queens-64]",
+        "incremental_vs_batch_speedup",
+        ratio,
+        n=64,
+        iterations_per_second=incremental_ips,
+    )
     print(f"\nn-queens-64 incremental-vs-batch: {ratio:.2f}x ({incremental_ips:,.0f} it/s)")
     if os.environ.get("REPRO_ASSERT_SPEEDUP") == "1":
         assert ratio >= 3.0, (

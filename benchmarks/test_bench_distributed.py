@@ -98,7 +98,7 @@ def test_distributed_overhead_vs_serial(benchmark, request):
 
 
 @pytest.mark.benchmark(group="distributed-scaling")
-def test_two_workers_scale_over_one(benchmark):
+def test_two_workers_scale_over_one(benchmark, bench_results):
     """Measure 2-worker vs 1-worker wall clock; enforce only on demand.
 
     Worker processes re-import numpy on startup, so on a small/busy machine
@@ -115,6 +115,14 @@ def test_two_workers_scale_over_one(benchmark):
     benchmark.pedantic(collect_two, rounds=1, iterations=1, warmup_rounds=0)
     two_worker_seconds = benchmark.stats.stats.mean
     ratio = one_worker_seconds / two_worker_seconds if two_worker_seconds > 0 else float("inf")
+    bench_results.record(
+        "distributed-scaling[2v1]",
+        "wall_clock_speedup",
+        ratio,
+        n_runs=N_RUNS,
+        unit_size=4,
+        enforced=enforce,
+    )
     print(f"\n2-worker vs 1-worker distributed speedup: {ratio:.2f}x")
     if enforce:
         assert ratio >= 1.4, (

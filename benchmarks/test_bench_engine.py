@@ -54,7 +54,7 @@ def test_collect_batch_throughput(benchmark, backend, serial_batch, request):
 
 
 @pytest.mark.benchmark(group="engine-speedup")
-def test_process_backend_speedup_over_serial(benchmark):
+def test_process_backend_speedup_over_serial(benchmark, bench_results):
     """Measure the process-vs-serial speedup; assert it only on demand.
 
     The quick-profile workload here solves in well under a second serially,
@@ -86,6 +86,14 @@ def test_process_backend_speedup_over_serial(benchmark):
     benchmark.pedantic(process_collect, rounds=1, iterations=1, warmup_rounds=0)
     process_seconds = benchmark.stats.stats.mean
     ratio = serial_seconds / process_seconds if process_seconds > 0 else float("inf")
+    bench_results.record(
+        "engine-speedup[process-vs-serial]",
+        "wall_clock_speedup",
+        ratio,
+        n_runs=n_runs,
+        workers=cpus,
+        enforced=enforce,
+    )
     print(f"\nprocess-vs-serial speedup on {cpus} cpu(s): {ratio:.2f}x")
     if enforce:
         assert ratio >= 2.0, (

@@ -64,7 +64,7 @@ def _flips_per_second(formula, mode: str, budget: int, n_runs: int, policy: str 
 
 @pytest.mark.benchmark(group="walksat-throughput")
 @pytest.mark.parametrize("instance", INSTANCES, ids=[spec[0] for spec in INSTANCES])
-def test_incremental_vs_batch_throughput(benchmark, instance, request):
+def test_incremental_vs_batch_throughput(benchmark, instance, request, bench_results):
     label, n_variables, budget, n_runs = instance
     formula = _make_instance(n_variables)
     batch_flips, batch_fps = _flips_per_second(formula, "batch", budget, n_runs)
@@ -77,6 +77,14 @@ def test_incremental_vs_batch_throughput(benchmark, instance, request):
     )
     # Bit-identical flip sequences: same total work on both paths.
     assert incremental_flips == batch_flips
+    bench_results.record(
+        f"walksat-throughput[{label}]",
+        "incremental_vs_batch_speedup",
+        incremental_fps / batch_fps,
+        instance=label,
+        incremental_flips_per_second=incremental_fps,
+        batch_flips_per_second=batch_fps,
+    )
     print_once(
         request,
         f"walksat-throughput[{label}]: incremental {incremental_fps:,.0f} flips/s "
@@ -86,7 +94,7 @@ def test_incremental_vs_batch_throughput(benchmark, instance, request):
 
 @pytest.mark.benchmark(group="walksat-speedup")
 @pytest.mark.parametrize("policy", POLICIES)
-def test_3sat250_incremental_speedup_gate(benchmark, policy):
+def test_3sat250_incremental_speedup_gate(benchmark, policy, bench_results):
     """ISSUE-3/ISSUE-5 acceptance: >= 5x flips/second on planted 3-SAT
     n=250 @ 4.2 for every registered flip policy.
 
@@ -106,6 +114,15 @@ def test_3sat250_incremental_speedup_gate(benchmark, policy):
     )
     assert incremental_flips == batch_flips
     ratio = incremental_fps / batch_fps
+    bench_results.record(
+        "walksat-speedup[3sat-250]",
+        "incremental_vs_batch_speedup",
+        ratio,
+        policy=policy,
+        n_variables=250,
+        clause_ratio=RATIO,
+        flips_per_second=incremental_fps,
+    )
     print(
         f"\n3sat-250[{policy}] incremental-vs-batch: {ratio:.2f}x "
         f"({incremental_fps:,.0f} flips/s)"

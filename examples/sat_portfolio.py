@@ -11,18 +11,23 @@ portfolio*.  This example:
 3. predicts the portfolio speed-up with both the parametric fit and the
    nonparametric empirical predictor;
 4. validates the prediction against a simulated portfolio and against a
-   real engine race (`repro.engine.run_race`) for a small number of cores.
+   real engine race (`repro.engine.run_race`) for a small number of cores;
+5. with ``--backend lockstep``, services the whole campaign as SIMD kernel
+   calls (`repro.sat.vectorized`) and compares wall clock against the
+   process backend on identical observations — one core batching walks
+   versus several cores running them scalar.
 
 The same workload is registered in the experiment registry: try
 ``repro-lasvegas run sat_flips sat_portfolio`` or
 ``repro-lasvegas campaign`` for the cached CLI equivalent.
 
-Run with:  python examples/sat_portfolio.py [--backend serial|thread|process]
+Run with:  python examples/sat_portfolio.py [--backend serial|thread|process|lockstep]
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 
 import numpy as np
 
@@ -37,10 +42,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "lockstep"),
         default="serial",
         help="engine backend for the sequential campaign and the race "
-        "(flip counts are bit-identical on every backend)",
+        "(flip counts are bit-identical on every backend; lockstep batches "
+        "all walks into SIMD kernel calls in one process)",
     )
     parser.add_argument(
         "--cache-dir", default=None, help="observation-cache directory (repeat runs are free)"
@@ -94,6 +100,27 @@ def main() -> None:
         f"min flips={outcome.winner_result.iterations} "
         f"(sequential mean was {flips.mean():.0f})"
     )
+
+    if args.backend == "lockstep":
+        # SIMD batching in one process vs task parallelism across
+        # processes: same seeds, bit-identical observations, very
+        # different machines.  (Uncached on purpose — this measures the
+        # collection itself.)
+        start = time.perf_counter()
+        lockstep_batch = collect_batch(solver, n_runs=120, base_seed=11, backend="lockstep")
+        lockstep_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        process_batch = collect_batch(solver, n_runs=120, base_seed=11, backend="process")
+        process_seconds = time.perf_counter() - start
+        assert (
+            lockstep_batch.iterations.tolist() == process_batch.iterations.tolist()
+        ), "backends must agree bit for bit"
+        ratio = process_seconds / lockstep_seconds if lockstep_seconds > 0 else float("inf")
+        print(
+            f"\nlockstep vs process wall clock (120 runs, identical flips): "
+            f"lockstep {lockstep_seconds:.2f}s, process {process_seconds:.2f}s "
+            f"-> {ratio:.2f}x"
+        )
 
 
 if __name__ == "__main__":

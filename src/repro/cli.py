@@ -35,6 +35,7 @@ from repro.core.prediction import predict_speedup_curve, predict_speedup_empiric
 from repro.engine.backends import BatchExecutor
 from repro.engine.core import BACKENDS, resolve_backend
 from repro.engine.distributed import DistributedBackend, run_worker
+from repro.engine.lockstep import LockstepBackend
 from repro.engine.progress import BatchProgress
 from repro.experiments.config import SAT_FAMILIES, ExperimentConfig
 from repro.experiments.data import CampaignSummary
@@ -118,6 +119,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker count for the thread/process backends (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--lockstep-width",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with --backend lockstep: walks per vectorised kernel call "
+        "(default: each whole seed-block as one call)",
     )
     parser.add_argument(
         "--cache",
@@ -282,6 +291,16 @@ def _validate_engine_args(args: argparse.Namespace) -> str | None:
         return "--workers requires a parallel backend; add --backend thread or --backend process"
     if args.workers is not None and args.workers < 1:
         return f"--workers must be >= 1, got {args.workers}"
+    if args.backend == "lockstep":
+        if args.workers is not None:
+            return (
+                "--workers does not apply to --backend lockstep (it runs "
+                "in-process); size the batch axis with --lockstep-width"
+            )
+        if args.lockstep_width is not None and args.lockstep_width < 1:
+            return f"--lockstep-width must be >= 1, got {args.lockstep_width}"
+    elif args.lockstep_width is not None:
+        return "--lockstep-width requires --backend lockstep"
     if args.backend == "distributed":
         if args.workers is not None:
             return (
@@ -316,6 +335,8 @@ def _engine_backend(args: argparse.Namespace) -> str | BatchExecutor:
     batch of the invocation, so the coordinator socket (or job directory)
     persists across batches and workers stay connected in between.
     """
+    if args.backend == "lockstep" and args.lockstep_width is not None:
+        return LockstepBackend(width=args.lockstep_width)
     if args.backend != "distributed":
         return args.backend
     return DistributedBackend(

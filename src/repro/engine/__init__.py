@@ -20,6 +20,10 @@ instead of rolling its own loop or pool:
   socket protocol (or a filesystem job directory for queue/HPC settings),
   with per-(task, seed-block) work stealing, re-issue on worker death and
   idempotent result dedup.
+* :mod:`repro.engine.lockstep` — the SIMD batching backend: whole
+  seed-blocks of a lockstep-capable algorithm serviced as single
+  vectorised kernel calls (:mod:`repro.sat.vectorized`) in the calling
+  process, with a serial fallback for everything else.
 * :mod:`repro.engine.progress` — structured per-run progress events.
 * :mod:`repro.engine.cache` — content-addressed on-disk cache of collected
   batches, keyed by (solver, config, problem, seed), so repeated campaigns
@@ -57,6 +61,7 @@ from repro.engine.distributed import (
     execute_unit,
     run_worker,
 )
+from repro.engine.lockstep import LockstepBackend
 from repro.engine.progress import BatchProgress, ProgressCallback
 from repro.engine.seeding import spawn_seeds
 from repro.engine.tasks import (
@@ -74,6 +79,7 @@ __all__ = [
     "BatchExecutor",
     "BatchProgress",
     "DistributedBackend",
+    "LockstepBackend",
     "ObservationCache",
     "ProcessBackend",
     "ProgressCallback",

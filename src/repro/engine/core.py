@@ -29,6 +29,7 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import ObservationCache
 from repro.engine.distributed import DistributedBackend
+from repro.engine.lockstep import LockstepBackend
 from repro.engine.progress import BatchProgress, ProgressCallback
 from repro.engine.seeding import spawn_seeds
 from repro.engine.tasks import RunTask, execute_run
@@ -43,6 +44,7 @@ BACKENDS: dict[str, type[BatchExecutor]] = {
     "thread": ThreadBackend,
     "process": ProcessBackend,
     "distributed": DistributedBackend,
+    "lockstep": LockstepBackend,
 }
 
 
@@ -71,6 +73,13 @@ def resolve_backend(
         if workers not in (None, 1):
             raise ValueError("the serial backend runs exactly one worker")
         return SerialBackend()
+    if factory is LockstepBackend:
+        if workers not in (None, 1):
+            raise ValueError(
+                "the lockstep backend runs in-process; configure the batch "
+                "axis via its width (CLI: --lockstep-width), not workers"
+            )
+        return LockstepBackend()
     return factory(workers=workers)
 
 

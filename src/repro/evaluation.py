@@ -42,13 +42,42 @@ __all__ = [
     "EvaluationPath",
     "IncrementalEvaluator",
     "IncrementalState",
+    "LOCKSTEP_PATH",
     "resolve_evaluation_path",
+    "supports_lockstep",
     "validate_evaluation_mode",
 ]
 
 #: Accepted values of the ``evaluation`` configuration attribute of the
 #: local-search solver configs.
 EVALUATION_MODES: tuple[str, ...] = ("auto", "incremental", "batch")
+
+#: Name of the third evaluation tier: the vectorised lockstep kernel of
+#: :mod:`repro.sat.vectorized`.  It is deliberately *not* a member of
+#: :data:`EVALUATION_MODES` — a per-run ``evaluation`` mode answers "how
+#: does ONE walk evaluate its moves", whereas lockstep batches a whole
+#: *block of walks* into one kernel call, so it lives behind the execution
+#: engine seam instead (``--backend lockstep``, see
+#: :mod:`repro.engine.lockstep`) and is routed by :func:`supports_lockstep`.
+LOCKSTEP_PATH: str = "lockstep"
+
+
+def supports_lockstep(algorithm) -> bool:
+    """Whether the engine may service this algorithm's seed-blocks in lockstep.
+
+    True when the algorithm exposes the lockstep entry points — a
+    ``run_lockstep(seeds)`` batch runner plus a ``lockstep_supported()``
+    probe — and the probe accepts the current configuration (e.g. WalkSAT
+    with an SKC-family policy; the Novelty family reports ``False`` and
+    stays on the scalar path).  Algorithms without the entry points are
+    simply not lockstep-capable; it is not an error.
+    """
+    probe = getattr(algorithm, "lockstep_supported", None)
+    return (
+        callable(getattr(algorithm, "run_lockstep", None))
+        and callable(probe)
+        and bool(probe())
+    )
 
 
 def validate_evaluation_mode(mode: str) -> None:

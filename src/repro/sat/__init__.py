@@ -29,6 +29,7 @@ from repro.sat.incremental import (
     ClauseState,
     IncrementalClausePath,
 )
+from repro.sat.vectorized import LockstepClauseState, LockstepEvaluator
 
 __all__ = [
     "BatchClausePath",
@@ -39,6 +40,8 @@ __all__ = [
     "ClauseState",
     "DEFAULT_INSTANCE",
     "IncrementalClausePath",
+    "LockstepClauseState",
+    "LockstepEvaluator",
     "bundled_instance_names",
     "bundled_instance_path",
     "clause_count_for_ratio",

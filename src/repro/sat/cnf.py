@@ -142,9 +142,25 @@ class CNFFormula:
             evaluator = self._clause_evaluator = ClauseEvaluator(self)
         return evaluator
 
+    def lockstep_evaluator(self):
+        """Memoised lockstep (batched multi-walk) evaluator for this formula.
+
+        Same lifecycle as :meth:`clause_evaluator`: built lazily (padded
+        rectangular occurrence arrays, one pass over every literal),
+        cached under ``_lockstep_evaluator`` and kept out of pickles by
+        :meth:`__getstate__`.
+        """
+        from repro.sat.vectorized import LockstepEvaluator
+
+        evaluator = getattr(self, "_lockstep_evaluator", None)
+        if evaluator is None:
+            evaluator = self._lockstep_evaluator = LockstepEvaluator(self)
+        return evaluator
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state.pop("_clause_evaluator", None)
+        state.pop("_lockstep_evaluator", None)
         return state
 
     def random_assignment(self, rng: np.random.Generator) -> np.ndarray:

@@ -57,6 +57,7 @@ __all__ = [
     "NoveltyPlusPolicy",
     "WalkSATPolicy",
     "make_policy",
+    "skc_select",
     "validate_policy",
 ]
 
@@ -96,6 +97,32 @@ class FlipPolicy(abc.ABC):
         """Observe a committed flip and the post-flip clause state."""
 
 
+def skc_select(breaks, rng: np.random.Generator, noise: float) -> int:
+    """SKC selection on precomputed break counts; returns a *position*.
+
+    The WalkSAT/SKC rule reduced to its RNG-consuming core: given the
+    break counts of a clause's variable positions, pick the position to
+    flip — a uniform free (zero-break) position if one exists, otherwise a
+    uniform random-walk position with probability ``noise``, otherwise a
+    uniform minimum-break position.  Every caller that feeds it the same
+    break row consumes *identical* RNG draws (one ``integers`` call, with
+    a ``random`` call on the no-free-variable branch), which is what lets
+    the scalar policies and the lockstep kernel of
+    :mod:`repro.sat.vectorized` share one stream-exact selection rule.
+
+    ``breaks`` is any integer sequence (list or ndarray); pure-Python
+    scanning keeps the common 3-literal rows cheap on both paths.
+    """
+    zeros = [index for index, count in enumerate(breaks) if count == 0]
+    if zeros:
+        return zeros[int(rng.integers(len(zeros)))]
+    if rng.random() < noise:
+        return int(rng.integers(len(breaks)))
+    best = min(breaks)
+    candidates = [index for index, count in enumerate(breaks) if count == best]
+    return candidates[int(rng.integers(len(candidates)))]
+
+
 def _skc_pick(
     path: ClausePath, variables: list[int], rng: np.random.Generator, noise: float
 ) -> int:
@@ -105,14 +132,8 @@ def _skc_pick(
     same RNG draws, same tie-breaking — so the refactor to policy objects
     keeps the default solver bit-identical to its pre-policy behaviour.
     """
-    breaks = np.array([path.break_count(var) for var in variables], dtype=np.int64)
-    if (breaks == 0).any():
-        candidates = np.flatnonzero(breaks == 0)
-        return variables[int(candidates[rng.integers(candidates.size)])]
-    if rng.random() < noise:
-        return variables[int(rng.integers(len(variables)))]
-    candidates = np.flatnonzero(breaks == breaks.min())
-    return variables[int(candidates[rng.integers(candidates.size)])]
+    breaks = [path.break_count(var) for var in variables]
+    return variables[skc_select(breaks, rng, noise)]
 
 
 class WalkSATPolicy(FlipPolicy):

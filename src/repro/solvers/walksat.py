@@ -38,12 +38,16 @@ import dataclasses
 import numpy as np
 
 from repro.evaluation import resolve_evaluation_path, validate_evaluation_mode
+from repro.sat import vectorized
 from repro.sat.cnf import CNFFormula
 from repro.sat.incremental import BatchClausePath, ClausePath, IncrementalClausePath
 from repro.solvers.base import LasVegasAlgorithm, RunResult
 from repro.solvers.policies import FlipPolicy, make_policy, validate_policy
 
-__all__ = ["WalkSAT", "WalkSATConfig"]
+__all__ = ["RESTART_SCHEDULES", "WalkSAT", "WalkSATConfig"]
+
+#: Restart cutoff schedules accepted by ``WalkSATConfig.restart_schedule``.
+RESTART_SCHEDULES: tuple[str, ...] = ("fixed", "luby")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,6 +83,15 @@ class WalkSATConfig:
     restart_after:
         Re-randomise the assignment every ``restart_after`` flips;
         ``None`` disables restarts.
+    restart_schedule:
+        Cutoff schedule when restarts are enabled: ``"fixed"`` (default)
+        restarts every ``restart_after`` flips; ``"luby"`` scales the
+        cutoffs by the Luby universal sequence (1, 1, 2, 1, 1, 2, 4, ...)
+        of :func:`repro.core.restarts.luby_sequence`, i.e. segment ``i``
+        runs for ``restart_after * luby(i)`` flips — the optimal universal
+        restart strategy of Luby, Sinclair & Zuckerman 1993.  Ignored when
+        ``restart_after`` is ``None``.  Scalar and lockstep paths honour
+        the schedule identically.
     evaluation:
         Evaluation path: ``"auto"`` (default) uses the incremental clause
         state — for SAT it wins at every instance size; ``"incremental"``
@@ -93,6 +106,7 @@ class WalkSATConfig:
     adaptive_theta: float = 1.0 / 6.0
     adaptive_phi: float = 0.2
     restart_after: int | None = None
+    restart_schedule: str = "fixed"
     evaluation: str = "auto"
 
     def __post_init__(self) -> None:
@@ -111,6 +125,11 @@ class WalkSATConfig:
             raise ValueError(f"adaptive_phi must be in [0, 1], got {self.adaptive_phi}")
         if self.restart_after is not None and self.restart_after < 1:
             raise ValueError(f"restart_after must be >= 1 or None, got {self.restart_after}")
+        if self.restart_schedule not in RESTART_SCHEDULES:
+            raise ValueError(
+                f"restart_schedule must be one of {RESTART_SCHEDULES}, "
+                f"got {self.restart_schedule!r}"
+            )
         validate_evaluation_mode(self.evaluation)
 
 
@@ -157,16 +176,17 @@ class WalkSAT(LasVegasAlgorithm):
         flips = 0
         restarts = 0
         flips_since_restart = 0
+        cutoff = vectorized.restart_cutoff(config.restart_after, config.restart_schedule, 0)
 
         while path.n_unsat > 0 and flips < config.max_flips:
-            if (
-                config.restart_after is not None
-                and flips_since_restart >= config.restart_after
-            ):
+            if cutoff is not None and flips_since_restart >= cutoff:
                 path.reinit(formula.random_assignment(rng))
                 policy.restart(path)
                 restarts += 1
                 flips_since_restart = 0
+                cutoff = vectorized.restart_cutoff(
+                    config.restart_after, config.restart_schedule, restarts
+                )
                 continue
 
             clause_index = path.unsat_clause(int(rng.integers(path.n_unsat)))
@@ -187,3 +207,30 @@ class WalkSAT(LasVegasAlgorithm):
             solution=path.assignment.copy() if solved else None,
             restarts=restarts,
         )
+
+    # ------------------------------------------------------------------
+    def lockstep_supported(self) -> bool:
+        """Whether :meth:`run_lockstep` batches this configuration.
+
+        The lockstep kernel vectorises the SKC selection rule, covering
+        the ``"walksat"`` and ``"adaptive"`` policies; the Novelty family
+        tracks per-variable flip ages with a ranking step that has no
+        batched implementation yet, so those configurations fall back to
+        scalar runs (documented behaviour, not an error).
+        """
+        return self.config.policy in vectorized.LOCKSTEP_POLICIES
+
+    def run_lockstep(self, seeds) -> list[RunResult]:
+        """Run one independent walk per seed as a lockstep batch.
+
+        Returns one :class:`RunResult` per seed, in seed order, each
+        bit-identical (``solved``/``iterations``/``restarts``/``solution``/
+        ``seed``) to ``self.run(seed)`` — the walks share one vectorised
+        kernel call but consume per-walk RNG streams exactly as the scalar
+        loop would (see :mod:`repro.sat.vectorized`).  Configurations the
+        kernel does not vectorise (see :meth:`lockstep_supported`) are
+        serviced by scalar runs, preserving the same contract.
+        """
+        if not self.lockstep_supported():
+            return [self.run(int(seed)) for seed in seeds]
+        return vectorized.run_lockstep(self.formula, self.config, list(seeds))

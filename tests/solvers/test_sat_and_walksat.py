@@ -113,6 +113,8 @@ class TestWalkSAT:
             WalkSATConfig(restart_after=0)
         with pytest.raises(ValueError):
             WalkSATConfig(evaluation="vectorised")
+        with pytest.raises(ValueError):
+            WalkSATConfig(restart_schedule="geometric")
 
     def test_restarts_are_counted(self, rng):
         formula, _ = random_planted_ksat(40, 160, rng=rng)
@@ -250,6 +252,28 @@ class TestWalkSATSemantics:
         assert not result.solved
         assert result.iterations == max_flips
         assert result.restarts == expected_restarts
+
+    def test_luby_schedule_restarts_at_the_scaled_luby_cutoffs(self):
+        # Same unsatisfiable formula: with restart_after=4 under the Luby
+        # schedule the segment cutoffs are 4*(1,1,2,1,1,2,4,1,1,...), i.e.
+        # restarts at cumulative flips 4, 8, 16, 20, 24, 32, 48, 52, 56 —
+        # nine of them within a 60-flip budget (the next, at 64, is past
+        # the budget).  A fixed schedule would restart every 4 flips (14
+        # restarts), so this pins the cadence, not just the count.
+        formula = CNFFormula(1, [(1,), (-1,)])
+        config = WalkSATConfig(max_flips=60, restart_after=4, restart_schedule="luby")
+        result = WalkSAT(formula, config).run(0)
+        assert not result.solved
+        assert result.iterations == 60
+        assert result.restarts == 9
+
+    @pytest.mark.parametrize("schedule", ["fixed", "luby"])
+    def test_restart_schedule_without_restart_after_is_inert(self, schedule):
+        formula = CNFFormula(1, [(1,), (-1,)])
+        config = WalkSATConfig(max_flips=20, restart_schedule=schedule)
+        result = WalkSAT(formula, config).run(0)
+        assert result.restarts == 0
+        assert result.iterations == 20
 
     # Crafted state (init FFF): the only unsatisfied clause is (1 2);
     # break(x0) = 2 (breaks ¬1 and (¬1 3)), break(x1) = 1 (breaks ¬2),
