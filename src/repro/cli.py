@@ -12,10 +12,18 @@ Subcommands
     stdin) and print the predicted multi-walk speed-ups — the library's
     end-user workflow.
 ``campaign``
-    Collect (and optionally persist) the sequential solver campaigns used by
-    the solver-backed experiments.  With ``--backend distributed`` the
-    process acts as the coordinator (``--coordinator HOST:PORT`` or
-    ``--job-dir DIR``) and the runs execute on connected workers.
+    Run the experiment campaigns through the streaming orchestrator.  The
+    default ``--controller off`` collects exactly the classic batches
+    (byte-identical observations and summary); ``--controller static``
+    additionally records the plan, and ``--controller adaptive`` re-plans
+    every round live (kill-and-reseed cutoffs, fixed-vs-Luby schedule,
+    predictor-driven worker allocation).  ``--dry-run`` prints the resolved
+    stage DAG and plan without executing; ``--report FILE`` saves the full
+    campaign report (run streams + decision log); ``--replay FILE``
+    re-derives a saved report's decision log offline and verifies it
+    matches bit for bit.  With ``--backend distributed`` the process acts
+    as the coordinator (``--coordinator HOST:PORT`` or ``--job-dir DIR``)
+    and the runs execute on connected workers.
 ``worker``
     Join a distributed campaign: connect to a coordinator (``--connect``) or
     watch a job directory (``--job-dir``), pull work units, run them on a
@@ -26,11 +34,20 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import fnmatch
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from repro.campaign import (
+    CONTROLLER_NAMES,
+    CampaignError,
+    CampaignReport,
+    ReplayError,
+    run_campaign,
+    verify_report,
+)
 from repro.core.prediction import predict_speedup_curve, predict_speedup_empirical
 from repro.engine.backends import BatchExecutor
 from repro.engine.core import BACKENDS, resolve_backend
@@ -38,12 +55,18 @@ from repro.engine.distributed import DistributedBackend, run_worker
 from repro.engine.lockstep import LockstepBackend
 from repro.engine.progress import BatchProgress
 from repro.experiments.config import SAT_FAMILIES, ExperimentConfig
-from repro.experiments.data import CampaignSummary
+from repro.experiments.data import (
+    CampaignSummary,
+    campaign_precollected,
+    memoize_campaign,
+)
+from repro.experiments.stages import canonical_emit_order
 from repro.sat.dimacs import bundled_instance_names
 from repro.solvers.policies import POLICIES
 from repro.experiments.registry import (
     EXPERIMENTS,
     OBSERVATION_KINDS,
+    campaign_stages_for,
     collect_observations_for,
     list_experiments,
     run_experiment,
@@ -75,6 +98,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["sat_policy"] = args.sat_policy
     if getattr(args, "sat_dimacs", None) is not None:
         overrides["sat_dimacs"] = args.sat_dimacs
+    if getattr(args, "max_iterations", None) is not None:
+        overrides["max_iterations"] = args.max_iterations
     # dataclasses.replace keeps every other profile field (instance sizes,
     # SAT workload parameters, core counts) exactly as the profile set it.
     return dataclasses.replace(config, **overrides) if overrides else config
@@ -215,6 +240,50 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--runs", type=int, default=None)
     campaign_parser.add_argument("--seed", type=int, default=None)
     campaign_parser.add_argument("--progress", action="store_true", help="print per-run progress")
+    campaign_parser.add_argument(
+        "--controller",
+        choices=CONTROLLER_NAMES,
+        default="off",
+        help="campaign controller: off (classic batches, default), static "
+        "(same runs, plan recorded) or adaptive (live re-planning from "
+        "streaming censoring-aware fits)",
+    )
+    campaign_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved stage DAG, per-stage seed blocks and the "
+        "static plan without executing anything",
+    )
+    campaign_parser.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the campaign report (run streams + decision log) as JSON",
+    )
+    campaign_parser.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="replay a saved report's decision log offline and verify it "
+        "matches bit for bit (no solver runs)",
+    )
+    campaign_parser.add_argument(
+        "--stages",
+        type=str,
+        default=None,
+        metavar="PATTERNS",
+        help="comma-separated stage keys or globs to run (e.g. 'SAT' or "
+        "'SAT/*,Costas'); dependencies are included automatically",
+    )
+    campaign_parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the per-run iteration/flip budget (censoring threshold)",
+    )
     _add_sat_workload_arguments(campaign_parser)
     _add_engine_arguments(campaign_parser)
 
@@ -408,12 +477,89 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _select_stages(stages: list, patterns_arg: str) -> list | str:
+    """Filter the stage DAG by comma-separated key globs, keeping dependencies.
+
+    Returns the selected stages in their original declaration order, or an
+    error message when a pattern matches nothing.  Dependencies of selected
+    stages are pulled in transitively so the DAG stays resolvable.
+    """
+    patterns = [p.strip() for p in patterns_arg.split(",") if p.strip()]
+    if not patterns:
+        return "--stages got an empty pattern list"
+    by_key = {stage.key: stage for stage in stages}
+    selected: set[str] = set()
+    for pattern in patterns:
+        hits = fnmatch.filter(by_key, pattern)
+        if not hits:
+            known = ", ".join(by_key)
+            return f"--stages pattern {pattern!r} matches no stage (stages: {known})"
+        selected.update(hits)
+    frontier = list(selected)
+    while frontier:  # dependency closure over `after`
+        for dep in by_key[frontier.pop()].after:
+            if dep not in selected:
+                selected.add(dep)
+                frontier.append(dep)
+    return [stage for stage in stages if stage.key in selected]
+
+
+def _print_dry_run(report: CampaignReport) -> None:
+    """Render the dry-run plan: stage DAG, seed blocks and the static plan."""
+    plans = [d for d in report.decision_dicts() if d["kind"] == "dry-run-plan"]
+    print(f"dry run: {len(plans)} stages, controller={report.controller}")
+    for entry in plans:
+        detail = entry["detail"]
+        after = ",".join(detail["after"]) if detail["after"] else "-"
+        seeds = ",".join(str(seed) for seed in detail["seed_head"])
+        print(
+            f"{entry['stage']:<12s} quota={detail['quota']:<5d} "
+            f"budget={detail['budget']:<8d} after={after} "
+            f"emit={','.join(detail['emit_keys'])}"
+        )
+        print(
+            f"{'':<12s} base_seed={detail['base_seed']} seeds[:4]={seeds} "
+            f"schedule={detail['schedule']} cutoff={detail['cutoff']} "
+            f"rounds={detail['rounds']}"
+        )
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
+    if args.replay is not None:
+        try:
+            report = CampaignReport.load(args.replay)
+            verified = verify_report(report)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load report: {exc}", file=sys.stderr)
+            return 2
+        except ReplayError as exc:
+            print(f"replay FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"replay OK: {verified} decisions reproduced "
+            f"(controller={report.controller}, {len(report.stages)} stages)"
+        )
+        return 0
+
     error = _validate_engine_args(args)
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return 2
     config = _config_from_args(args)
+    stages = campaign_stages_for(config)
+    if args.stages is not None:
+        stages = _select_stages(stages, args.stages)
+        if isinstance(stages, str):
+            print(f"error: {stages}", file=sys.stderr)
+            return 2
+
+    if args.dry_run:
+        report = run_campaign(stages, controller=args.controller, dry_run=True)
+        _print_dry_run(report)
+        if args.report is not None:
+            report.save(args.report)
+        return 0
+
     progress = None
     if args.progress:
 
@@ -426,30 +572,50 @@ def _command_campaign(args: argparse.Namespace) -> int:
             )
 
     backend = _engine_backend(args)
-    # Every observation kind rides the same engine/cache plumbing — one
-    # campaign command warms every solver-backed experiment (CSP + SAT).
-    observations: dict = {}
     try:
-        for kind in OBSERVATION_KINDS:
-            observations.update(
-                collect_observations_for(
-                    kind,
-                    config,
-                    cache_dir=args.cache_dir,
-                    backend=backend,
-                    workers=args.workers if isinstance(backend, str) else None,
-                    progress=progress,
-                )
-            )
+        report = run_campaign(
+            stages,
+            controller=args.controller,
+            backend=backend,
+            workers=args.workers if isinstance(backend, str) else None,
+            progress=progress,
+            cache=args.cache_dir,
+            # Classic campaigns reuse batches the collectors already memoised
+            # in this process; controllers plan their own run streams.
+            precollected=campaign_precollected(config) if args.controller == "off" else None,
+        )
+    except CampaignError as exc:
+        print(f"error: campaign failed: {exc}", file=sys.stderr)
+        if args.report is not None:
+            exc.report.save(args.report)
+            print(f"partial report written to {args.report}", file=sys.stderr)
+        return 1
     finally:
         if isinstance(backend, DistributedBackend):
             backend.shutdown()  # lets connected workers exit cleanly
+
+    observations = report.observations()
+    if args.controller == "off":
+        # Seed the in-process memo so experiments run later in this process
+        # (tests, notebooks) reuse the batches the campaign just collected.
+        memoize_campaign(config, observations)
+    else:
+        print(
+            f"controller={args.controller}: {len(report.decisions)} decisions "
+            f"recorded across {len(report.stages)} stages",
+            file=sys.stderr,
+        )
     summary = CampaignSummary.from_observations(config, observations)
-    for key, batch in observations.items():
+    for key in canonical_emit_order(stages):
+        if key not in observations:
+            continue
+        batch = observations[key]
         print(
             f"{batch.label:<12s} runs={summary.n_runs[key]:<5d} "
             f"success-rate={summary.success_rates[key]:.2%}"
         )
+    if args.report is not None:
+        report.save(args.report)
     return 0
 
 

@@ -28,9 +28,10 @@ instead of rolling its own loop or pool:
 * :mod:`repro.engine.cache` — content-addressed on-disk cache of collected
   batches, keyed by (solver, config, problem, seed), so repeated campaigns
   are free.
-* :mod:`repro.engine.core` — :func:`collect_batch` (backend-invariant batch
-  collection) and :func:`run_race` (first-finisher-wins with deterministic
-  tie-breaking).
+* :mod:`repro.engine.core` — :func:`iter_batch` (the incremental interface:
+  ``(index, result)`` pairs streamed as runs finish), :func:`collect_batch`
+  (backend-invariant batch collection, reassembled from the stream) and
+  :func:`run_race` (first-finisher-wins with deterministic tie-breaking).
 
 The engine's hard invariant: a given ``base_seed`` yields bit-identical
 iteration counts on every backend at any worker count — including the
@@ -50,6 +51,8 @@ from repro.engine.core import (
     BACKENDS,
     RaceOutcome,
     collect_batch,
+    iter_batch,
+    iter_runs,
     resolve_backend,
     run_race,
 )
@@ -97,6 +100,8 @@ __all__ = [
     "default_worker_count",
     "execute_run",
     "execute_unit",
+    "iter_batch",
+    "iter_runs",
     "pick_default_backend",
     "resolve_backend",
     "run_race",

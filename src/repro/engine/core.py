@@ -1,11 +1,18 @@
 """High-level entry points of the execution engine.
 
-Two operations cover every way this package launches runs:
+Three operations cover every way this package launches runs:
 
+* :func:`iter_batch` — the incremental interface: run ``n_runs`` independent
+  runs and yield ``(index, result)`` pairs *as runs finish*, on any backend.
+  Completion order is backend-dependent, but the set of runs is not: seeds
+  are derived up front from ``(base_seed, n_runs)`` alone, so the yielded
+  indices always form a permutation of ``range(n_runs)`` and reassembling
+  results by index gives bit-identical observations on every backend at any
+  worker count.  Closing the iterator early cancels outstanding runs.
 * :func:`collect_batch` — run ``n_runs`` independent runs and assemble a
-  :class:`RuntimeObservations` batch.  The batch is *backend-invariant*:
-  seeds are derived up front from ``(base_seed, n_runs)`` alone and results
-  are reassembled by index, so a given base seed yields bit-identical
+  :class:`RuntimeObservations` batch.  Implemented on top of
+  :func:`iter_batch` (reassembly by index), so the batch inherits the
+  backend-invariance invariant: a given base seed yields bit-identical
   iteration counts on every backend at any worker count (wall-clock times,
   of course, differ).
 * :func:`run_race` — the paper's Definition 2 protocol: launch ``n_walks``
@@ -20,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from pathlib import Path
+from typing import Iterator, Sequence
 
 from repro.engine.backends import (
     BatchExecutor,
@@ -36,7 +44,15 @@ from repro.engine.tasks import RunTask, execute_run
 from repro.multiwalk.observations import RuntimeObservations
 from repro.solvers.base import LasVegasAlgorithm, RunResult
 
-__all__ = ["BACKENDS", "RaceOutcome", "collect_batch", "resolve_backend", "run_race"]
+__all__ = [
+    "BACKENDS",
+    "RaceOutcome",
+    "collect_batch",
+    "iter_batch",
+    "iter_runs",
+    "resolve_backend",
+    "run_race",
+]
 
 #: Registry of backend names accepted wherever a backend can be specified.
 BACKENDS: dict[str, type[BatchExecutor]] = {
@@ -81,6 +97,78 @@ def resolve_backend(
             )
         return LockstepBackend()
     return factory(workers=workers)
+
+
+def iter_runs(
+    algorithm: LasVegasAlgorithm,
+    seeds: Sequence[int],
+    *,
+    indices: Sequence[int] | None = None,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
+) -> Iterator[tuple[int, RunResult]]:
+    """Run ``algorithm`` once per seed, yielding ``(index, result)`` as runs finish.
+
+    The low-level streaming primitive beneath :func:`iter_batch`: callers
+    that derive their own seed streams (the adaptive campaign controller's
+    kill-and-reseed rounds) pass explicit seeds and, optionally, the stable
+    ``indices`` the results should be attributed to (default: positions in
+    ``seeds``).  Completion order is backend-dependent; the index carried
+    with each result is not.  Closing the iterator early cancels
+    outstanding runs (best effort, see the backends).
+    """
+    seeds = list(seeds)
+    if indices is None:
+        indices = range(len(seeds))
+    else:
+        indices = list(indices)
+        if len(indices) != len(seeds):
+            raise ValueError(
+                f"got {len(indices)} indices for {len(seeds)} seeds; they must pair up"
+            )
+    executor = resolve_backend(backend, workers)
+    payloads = [
+        RunTask(algorithm, index, seed) for index, seed in zip(indices, seeds)
+    ]
+    iterator = executor.imap_unordered(execute_run, payloads, chunksize=chunksize)
+    try:
+        yield from iterator
+    finally:
+        close = getattr(iterator, "close", None)
+        if close is not None:
+            close()  # cancel outstanding runs when the consumer stops early
+
+
+def iter_batch(
+    algorithm: LasVegasAlgorithm,
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+    backend: str | BatchExecutor | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
+) -> Iterator[tuple[int, RunResult]]:
+    """Incrementally run a batch, yielding ``(index, result)`` as runs finish.
+
+    The streaming face of :func:`collect_batch`: same deterministic seed
+    derivation (``spawn_seeds(base_seed, n_runs)``), same backends, but
+    observations are surfaced the moment their run completes instead of
+    after the whole batch.  The yielded indices form a permutation of
+    ``range(n_runs)``; reassembling results by index reproduces
+    :func:`collect_batch` bit for bit on every backend.  Consumers acting
+    on the stream (online fitting, adaptive scheduling) therefore observe
+    *when* runs finish without ever influencing *what* the runs are.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    yield from iter_runs(
+        algorithm,
+        spawn_seeds(base_seed, n_runs),
+        backend=backend,
+        workers=workers,
+        chunksize=chunksize,
+    )
 
 
 def collect_batch(
@@ -155,12 +243,12 @@ def collect_batch(
                 )
             return cached
 
-    seeds = spawn_seeds(base_seed, n_runs)
-    payloads = [RunTask(algorithm, index, seed) for index, seed in enumerate(seeds)]
     results: list[RunResult | None] = [None] * n_runs
     start = time.perf_counter()
     completed = 0
-    for index, result in executor.imap_unordered(execute_run, payloads):
+    for index, result in iter_batch(
+        algorithm, n_runs, base_seed=base_seed, backend=executor
+    ):
         results[index] = result
         completed += 1
         if progress is not None:

@@ -6,10 +6,17 @@ benchmark.  Collecting them is by far the most expensive step, so batches
 are cached in-process (keyed by the configuration) and can optionally be
 persisted on disk through the engine's content-addressed
 :class:`repro.engine.ObservationCache` so that repeated CLI invocations
-reuse earlier campaigns.  Execution itself is delegated to
-:func:`repro.engine.collect_batch`, which means campaigns can be collected
-on the serial, thread or process backend with bit-identical results — a
-disk-cache entry written by one backend is a valid hit for all of them.
+reuse earlier campaigns.  Execution itself is delegated to the campaign
+orchestrator (:func:`repro.campaign.run_campaign` over the stage DAGs
+declared in :mod:`repro.experiments.stages`, with the controller ``off``),
+which routes every batch through :func:`repro.engine.collect_batch` —
+campaigns can be collected on any backend with bit-identical results, and
+a disk-cache entry written by one backend is a valid hit for all of them.
+
+The collectors run the orchestrator with ``enforce_required=False``: an
+all-censored batch is a legitimate *answer* for a table (the
+censoring-aware formatting paths exist for it), whereas the ``campaign``
+subcommand enforces the BUG-021 zero-observation guardrail.
 """
 
 from __future__ import annotations
@@ -18,18 +25,21 @@ import dataclasses
 from pathlib import Path
 from typing import Mapping
 
+from repro.campaign.orchestrator import run_campaign
 from repro.engine.backends import BatchExecutor
-from repro.engine.cache import ObservationCache
-from repro.engine.core import collect_batch
 from repro.engine.progress import ProgressCallback
 from repro.experiments.config import BENCHMARK_KEYS, SAT_KEY, ExperimentConfig
+from repro.experiments.stages import campaign_stages
 from repro.multiwalk.observations import RuntimeObservations
+from repro.solvers.policies import POLICIES
 
 __all__ = [
+    "campaign_precollected",
     "collect_benchmark_observations",
     "collect_sat_observations",
     "collect_sat_policy_observations",
     "clear_observation_cache",
+    "memoize_campaign",
 ]
 
 #: In-process cache: (campaign kind, config fingerprint) -> key -> batch.
@@ -74,6 +84,59 @@ def clear_observation_cache() -> None:
     _CACHE.clear()
 
 
+def campaign_precollected(config: ExperimentConfig) -> dict[str, RuntimeObservations]:
+    """In-process memoised batches keyed by *stage key*.
+
+    The warm-start mapping the ``campaign`` subcommand hands to the
+    orchestrator (``precollected=``) so a CLI campaign in a process whose
+    collectors already ran — the test-suite, a notebook — reuses those
+    batches instead of re-executing stages.  Only classic full batches are
+    memoised, so this applies to the ``off`` controller alone.
+    """
+    out: dict[str, RuntimeObservations] = {}
+    bench = _CACHE.get(_config_fingerprint(config))
+    if bench is not None:
+        out.update(bench)  # benchmark keys are their stage keys
+    sat_memo = _CACHE.get(_sat_fingerprint(config))
+    if sat_memo is not None:
+        out[SAT_KEY] = sat_memo[SAT_KEY]
+    policies = _CACHE.get(_sat_fingerprint(config, kind="sat_policies"))
+    if policies is not None:
+        for policy in POLICIES:
+            key = f"{SAT_KEY}/{policy}"
+            if key not in policies:
+                continue
+            if policy == config.sat_policy:
+                # The default policy's batch is the SAT stage itself.
+                out.setdefault(SAT_KEY, policies[key])
+            else:
+                out[key] = policies[key]
+    return out
+
+
+def memoize_campaign(
+    config: ExperimentConfig, observations: Mapping[str, RuntimeObservations]
+) -> None:
+    """Record a completed classic (controller-``off``) campaign in the memo.
+
+    The inverse of :func:`campaign_precollected`: after the ``campaign``
+    subcommand collects its batches through the orchestrator, this seeds
+    the same in-process entries the plain collectors would have, so
+    experiments run later in the process reuse them.
+    """
+    if all(key in observations for key in BENCHMARK_KEYS):
+        _CACHE[_config_fingerprint(config)] = {
+            key: observations[key] for key in BENCHMARK_KEYS
+        }
+    if SAT_KEY in observations:
+        _CACHE[_sat_fingerprint(config)] = {SAT_KEY: observations[SAT_KEY]}
+    policy_keys = [f"{SAT_KEY}/{policy}" for policy in POLICIES]
+    if all(key in observations for key in policy_keys):
+        _CACHE[_sat_fingerprint(config, kind="sat_policies")] = {
+            key: observations[key] for key in policy_keys
+        }
+
+
 def collect_benchmark_observations(
     config: ExperimentConfig,
     *,
@@ -102,23 +165,16 @@ def collect_benchmark_observations(
     if fingerprint in _CACHE:
         return dict(_CACHE[fingerprint])
 
-    disk_cache = ObservationCache(cache_dir) if cache_dir is not None else None
-
-    benchmarks = config.benchmarks()
-    observations: dict[str, RuntimeObservations] = {}
-    for offset, key in enumerate(BENCHMARK_KEYS):
-        spec = benchmarks[key]
-        solver = spec.make_solver(config.max_iterations)
-        observations[key] = collect_batch(
-            solver,
-            config.n_sequential_runs,
-            base_seed=config.base_seed + offset,
-            label=spec.label,
-            backend=backend,
-            workers=workers,
-            progress=progress,
-            cache=disk_cache,
-        )
+    report = run_campaign(
+        campaign_stages(config, kinds=("benchmarks",)),
+        controller="off",
+        backend=backend,
+        workers=workers,
+        progress=progress,
+        cache=cache_dir,
+        enforce_required=False,
+    )
+    observations = report.observations()
 
     _CACHE[fingerprint] = dict(observations)
     return observations
@@ -148,23 +204,19 @@ def collect_sat_observations(
     if fingerprint in _CACHE:
         return dict(_CACHE[fingerprint])
 
-    disk_cache = ObservationCache(cache_dir) if cache_dir is not None else None
-    spec = config.sat_benchmark()
-    solver = spec.make_solver(config.max_iterations)
-    observations = collect_batch(
-        solver,
-        config.n_sequential_runs,
-        # Offset past the three CSP benchmarks' seed roots (base_seed + 0..2).
-        base_seed=config.base_seed + len(BENCHMARK_KEYS),
-        label=spec.label,
+    report = run_campaign(
+        campaign_stages(config, kinds=("sat",)),
+        controller="off",
         backend=backend,
         workers=workers,
         progress=progress,
-        cache=disk_cache,
+        cache=cache_dir,
+        enforce_required=False,
     )
+    observations = report.observations()
 
-    _CACHE[fingerprint] = {SAT_KEY: observations}
-    return {SAT_KEY: observations}
+    _CACHE[fingerprint] = dict(observations)
+    return dict(observations)
 
 
 def collect_sat_policy_observations(
@@ -186,41 +238,42 @@ def collect_sat_policy_observations(
     and label), so it is *reused* here — through the in-process memo even
     without a disk cache — rather than executed a second time.
     """
-    from repro.solvers.policies import POLICIES
-
     fingerprint = _sat_fingerprint(config, kind="sat_policies")
     if fingerprint in _CACHE:
         return dict(_CACHE[fingerprint])
 
-    disk_cache = ObservationCache(cache_dir) if cache_dir is not None else None
-    observations: dict[str, RuntimeObservations] = {}
-    for policy in POLICIES:
-        if policy == config.sat_policy:
-            # The single-policy campaign already covers this exact batch;
-            # its collector memoises in-process and persists on disk, so a
-            # `campaign` invocation never runs the default policy twice.
-            observations[f"{SAT_KEY}/{policy}"] = collect_sat_observations(
-                config,
-                cache_dir=cache_dir,
-                backend=backend,
-                workers=workers,
-                progress=progress,
-            )[SAT_KEY]
-            continue
-        spec = config.sat_benchmark(policy=policy)
-        solver = spec.make_solver(config.max_iterations)
-        observations[f"{SAT_KEY}/{policy}"] = collect_batch(
-            solver,
-            config.n_sequential_runs,
-            base_seed=config.base_seed + len(BENCHMARK_KEYS),
-            label=spec.label,
-            backend=backend,
-            workers=workers,
-            progress=progress,
-            cache=disk_cache,
-        )
+    # The configured policy's batch is the one the single-policy SAT
+    # campaign collects (identical solver, seed root and label); when that
+    # collector already memoised it in-process, hand it to the orchestrator
+    # pre-collected so a `campaign` invocation never runs the policy twice.
+    precollected: dict[str, RuntimeObservations] = {}
+    sat_memo = _CACHE.get(_sat_fingerprint(config))
+    if sat_memo is not None:
+        precollected[SAT_KEY] = sat_memo[SAT_KEY]
+    report = run_campaign(
+        campaign_stages(config, kinds=("sat_policies",)),
+        controller="off",
+        backend=backend,
+        workers=workers,
+        progress=progress,
+        cache=cache_dir,
+        enforce_required=False,
+        precollected=precollected,
+    )
+    collected = report.observations()
+    # Reorder to the registered policy order (the shared default-policy
+    # batch sits at its policy position, not at its stage position).
+    observations = {
+        key: collected[key] for policy in POLICIES if (key := f"{SAT_KEY}/{policy}") in collected
+    }
 
     _CACHE[fingerprint] = dict(observations)
+    # The default policy's batch doubles as the single-policy campaign, so
+    # memoise it under that fingerprint too (the reuse the plain collector
+    # provided when it was called second).
+    _CACHE.setdefault(
+        _sat_fingerprint(config), {SAT_KEY: observations[f"{SAT_KEY}/{config.sat_policy}"]}
+    )
     return dict(observations)
 
 

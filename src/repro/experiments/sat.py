@@ -32,7 +32,6 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.censoring import censored_mean
 from repro.core.prediction import (
     PredictionResult,
     predict_speedup_curve,
@@ -45,6 +44,7 @@ from repro.multiwalk.observations import RuntimeObservations
 from repro.multiwalk.simulate import MultiwalkMeasurement, simulate_multiwalk_speedups
 from repro.solvers.policies import POLICIES
 from repro.stats.descriptive import RuntimeSummary, summarize
+from repro.stats.online import censored_mean_or_none
 
 __all__ = [
     "SATPolicyTable",
@@ -57,15 +57,16 @@ __all__ = [
 
 
 def _censoring_aware_mean(batch: RuntimeObservations) -> float | None:
-    """Censored-MLE mean flips, or ``None`` for fully-observed batches.
+    """Censored-MLE mean flips, or ``None`` when no correction applies.
 
     This is the path the uniform-ratio workloads exercise: their unsolved
     runs are right-censored at the flip budget, and dropping them (the
-    naive solved-only mean) would bias the fit optimistic.
+    naive solved-only mean) would bias the fit optimistic.  Every edge case
+    (fully-observed, all-censored, single observation) is centralised in
+    :func:`repro.stats.online.censored_mean_or_none`, so the tables no
+    longer guard them ad hoc.
     """
-    if batch.n_solved == batch.n_runs:
-        return None
-    return censored_mean(batch.iterations, ~batch.solved)
+    return censored_mean_or_none(batch.iterations, ~batch.solved)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -126,7 +127,7 @@ def sat_flips_table(
         label=batch.label,
         summary=summarize(batch.values("iterations")) if solved_any else None,
         success_rate=batch.success_rate(),
-        censored_mean=_censoring_aware_mean(batch) if solved_any else None,
+        censored_mean=_censoring_aware_mean(batch),
     )
 
 
@@ -197,7 +198,7 @@ def sat_policy_table(
         solved_any = batch.n_solved > 0
         summaries[policy] = summarize(batch.values("iterations")) if solved_any else None
         success_rates[policy] = batch.success_rate()
-        censored_means[policy] = _censoring_aware_mean(batch) if solved_any else None
+        censored_means[policy] = _censoring_aware_mean(batch)
     return SATPolicyTable(
         label=label,
         policies=POLICIES,

@@ -11,20 +11,33 @@ Supports the evaluation section of the paper:
   speed-ups and fitted parameters.
 * :mod:`repro.stats.ttt` — time-to-target plots (Aiex/Resende/Ribeiro),
   the diagnostic the paper cites as evidence for exponential runtimes.
+* :mod:`repro.stats.online` — censoring-aware streaming fitters (Welford
+  moments, incremental censored-exponential MLE, running lognormal MLE)
+  used by the live campaign controller.
 """
 
 from repro.stats.bootstrap import bootstrap_ci, bootstrap_speedup_ci
 from repro.stats.descriptive import RuntimeSummary, dispersion_ratio, summarize
 from repro.stats.ecdf import empirical_cdf, empirical_cdf_function
+from repro.stats.online import (
+    StreamingCensoredExponential,
+    StreamingLognormal,
+    StreamingMoments,
+    censored_mean_or_none,
+)
 from repro.stats.histogram import HistogramOverlay, density_histogram, histogram_with_fit
 from repro.stats.ttt import TimeToTargetPlot, time_to_target
 
 __all__ = [
     "HistogramOverlay",
     "RuntimeSummary",
+    "StreamingCensoredExponential",
+    "StreamingLognormal",
+    "StreamingMoments",
     "TimeToTargetPlot",
     "bootstrap_ci",
     "bootstrap_speedup_ci",
+    "censored_mean_or_none",
     "density_histogram",
     "dispersion_ratio",
     "empirical_cdf",

@@ -1,0 +1,238 @@
+"""Censoring-aware *streaming* fitters for live campaign control.
+
+The batch pipeline fits runtime distributions after a campaign has fully
+returned (:mod:`repro.core.fitting`, :mod:`repro.core.censoring`).  The
+streaming campaign orchestrator (:mod:`repro.campaign`) instead observes
+runs *as they finish* and must refresh its fitted model after every
+observation at O(1) cost.  This module provides the incremental
+counterparts, exact where a closed form exists:
+
+* :class:`StreamingMoments` — Welford's online mean/variance (numerically
+  stable; no running sum of squares).
+* :class:`StreamingCensoredExponential` — the censored shifted-exponential
+  MLE of :func:`repro.core.censoring.censored_exponential_fit`, maintained
+  incrementally.  After any prefix of the stream its fit equals the batch
+  fit of that prefix *exactly* (same shift rule, same exposure clamp), so
+  online decisions and offline reports can never disagree about the model.
+* :class:`StreamingLognormal` — running lognormal MLE over the *uncensored*
+  observations (Welford on logs; the censored lognormal MLE has no closed
+  form, so censored runs contribute to the censoring ratio only).
+
+It is also the single home of the censored-exponential-MLE edge cases that
+previously needed ad-hoc guards at every call site (all-censored batches,
+single-observation batches): :func:`censored_mean_or_none` returns ``None``
+instead of raising when no fit is identifiable, and every streaming class
+degrades the same way through ``None``-valued properties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.censoring import censored_exponential_fit
+from repro.core.distributions.exponential import ShiftedExponential
+
+__all__ = [
+    "StreamingCensoredExponential",
+    "StreamingLognormal",
+    "StreamingMoments",
+    "censored_mean_or_none",
+]
+
+
+def censored_mean_or_none(
+    values: Sequence[float] | np.ndarray,
+    censored: Sequence[bool] | np.ndarray,
+) -> float | None:
+    """Censoring-corrected mean, or ``None`` when no fit is identifiable.
+
+    The single edge-case policy shared by every consumer of the censored
+    exponential MLE (tables, the campaign controller, the CLI):
+
+    * **No censored runs** — the naive mean is already unbiased; returns
+      ``None`` so callers keep reporting the plain mean unchanged.
+    * **All runs censored** — the rate is not identifiable
+      (:func:`~repro.core.censoring.censored_exponential_fit` raises);
+      returns ``None`` instead of propagating the error into formatting
+      code.
+    * **Anything in between** — the closed-form censored-MLE mean,
+      including the single-uncensored-observation case (the exposure clamp
+      keeps the fitted rate finite, so the mean degrades gracefully to
+      roughly the lone observed value).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    flags = np.asarray(censored, dtype=bool).ravel()
+    if values.size == 0 or not flags.any():
+        return None
+    if flags.all():
+        return None
+    return censored_exponential_fit(values, flags).mean()
+
+
+@dataclasses.dataclass
+class StreamingMoments:
+    """Welford's online algorithm for count / mean / variance / extrema.
+
+    ``update`` is O(1) and numerically stable for long streams (no
+    catastrophic cancellation between a running sum and a running sum of
+    squares).  ``variance`` is the sample variance (``ddof=1``), ``None``
+    below two observations.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def update_many(self, values: Sequence[float] | np.ndarray) -> None:
+        for value in np.asarray(values, dtype=float).ravel():
+            self.update(value)
+
+    @property
+    def variance(self) -> float | None:
+        if self.count < 2:
+            return None
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float | None:
+        variance = self.variance
+        return None if variance is None else math.sqrt(variance)
+
+
+class StreamingCensoredExponential:
+    """Incremental censored shifted-exponential MLE.
+
+    Maintains exactly the statistics the closed-form batch MLE needs — the
+    number and sum of uncensored events, the running minimum event (the
+    paper's shift rule), and the multiset of censoring thresholds — so that
+    after *any* prefix of the observation stream, :meth:`fit` returns the
+    same :class:`~repro.core.distributions.exponential.ShiftedExponential`
+    as :func:`repro.core.censoring.censored_exponential_fit` applied to
+    that prefix.  Censoring thresholds are kept as distinct-value counts:
+    campaigns use a handful of budgets (often exactly one), so the
+    footprint stays O(#distinct budgets) while the exposure term
+    ``sum(max(threshold - shift, 0))`` remains exact even when a new,
+    smaller event lowers the shift retroactively.
+
+    All-censored streams (and empty ones) expose ``fit()``/``mean`` as
+    ``None`` — the not-identifiable edge case callers previously had to
+    guard by hand.
+    """
+
+    def __init__(self) -> None:
+        self.n_events = 0
+        self.n_censored = 0
+        self._event_sum = 0.0
+        self._min_event = math.inf
+        self._censored_counts: dict[float, int] = {}
+
+    @property
+    def count(self) -> int:
+        return self.n_events + self.n_censored
+
+    @property
+    def censored_fraction(self) -> float | None:
+        return None if self.count == 0 else self.n_censored / self.count
+
+    def update(self, value: float, censored: bool) -> None:
+        """Record one observation (``censored=True`` for budget-capped runs)."""
+        value = float(value)
+        if not math.isfinite(value) or value < 0:
+            raise ValueError(f"observations must be finite and non-negative, got {value}")
+        if censored:
+            self.n_censored += 1
+            self._censored_counts[value] = self._censored_counts.get(value, 0) + 1
+        else:
+            self.n_events += 1
+            self._event_sum += value
+            self._min_event = min(self._min_event, value)
+
+    def fit(self) -> ShiftedExponential | None:
+        """The batch-exact censored MLE of the stream so far (``None`` if
+        not identifiable, i.e. no uncensored event yet)."""
+        if self.n_events == 0:
+            return None
+        shift = self._min_event
+        # Uncensored events all sit at or above the shift (it is their
+        # minimum), so their clipped excess is the plain sum; censored
+        # thresholds can fall below the shift and clip to zero exposure.
+        exposure = self._event_sum - self.n_events * shift
+        exposure += sum(
+            max(threshold - shift, 0.0) * count
+            for threshold, count in self._censored_counts.items()
+        )
+        exposure = max(exposure, 1e-12)  # same degenerate-sample clamp as the batch MLE
+        return ShiftedExponential(x0=shift, lam=self.n_events / exposure)
+
+    @property
+    def mean(self) -> float | None:
+        """Censoring-corrected mean runtime (``None`` until identifiable)."""
+        fit = self.fit()
+        return None if fit is None else fit.mean()
+
+
+class StreamingLognormal:
+    """Running lognormal MLE over the uncensored observations.
+
+    The lognormal censored MLE has no closed form, so this fitter uses the
+    events-only MLE (Welford moments of the log-values: ``mu`` is their
+    mean, ``sigma`` their population standard deviation) and tracks the
+    censored count separately — enough for the controller's fixed-vs-Luby
+    restart decision, which only needs the *shape* (log-space dispersion)
+    of the runtime distribution, not an unbiased scale.
+    """
+
+    def __init__(self) -> None:
+        self._log_moments = StreamingMoments()
+        self.n_censored = 0
+
+    @property
+    def n_events(self) -> int:
+        return self._log_moments.count
+
+    @property
+    def count(self) -> int:
+        return self.n_events + self.n_censored
+
+    def update(self, value: float, censored: bool = False) -> None:
+        if censored:
+            self.n_censored += 1
+            return
+        value = float(value)
+        if not value > 0:
+            raise ValueError(f"lognormal observations must be positive, got {value}")
+        self._log_moments.update(math.log(value))
+
+    @property
+    def mu(self) -> float | None:
+        return self._log_moments.mean if self.n_events > 0 else None
+
+    @property
+    def sigma(self) -> float | None:
+        """Population (MLE) standard deviation of the log-values."""
+        if self.n_events < 2:
+            return None
+        # Welford's _m2 divided by n (not n-1) is the MLE variance.
+        return math.sqrt(self._log_moments._m2 / self.n_events)
+
+    @property
+    def mean(self) -> float | None:
+        """MLE mean ``exp(mu + sigma^2 / 2)`` (``None`` below two events)."""
+        if self.mu is None or self.sigma is None:
+            return None
+        return math.exp(self.mu + 0.5 * self.sigma**2)

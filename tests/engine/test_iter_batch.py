@@ -1,0 +1,163 @@
+"""The streaming batch interface (iter_runs / iter_batch).
+
+The incremental face of the engine inherits its hard invariant: the
+``(index, result)`` pairs a batch yields form a permutation of the batch,
+and reassembling them by index reproduces :func:`collect_batch` bit for
+bit — on every backend, at any worker count.  Consumers acting on the
+stream observe *when* runs finish without influencing *what* the runs are.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.core import collect_batch, iter_batch, iter_runs
+from repro.engine.distributed import DistributedBackend, run_worker
+from repro.engine.lockstep import LockstepBackend
+from repro.engine.seeding import spawn_seeds
+from repro.sat import random_planted_ksat
+from repro.solvers.base import LasVegasAlgorithm, RunResult
+from repro.solvers.walksat import WalkSAT, WalkSATConfig
+
+
+class _WorkerThread(threading.Thread):
+    """run_worker in a thread, capturing its stats (or exception)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(daemon=True)
+        self.kwargs = kwargs
+        self.stats = None
+        self.error = None
+
+    def run(self):
+        try:
+            self.stats = run_worker(**self.kwargs)
+        except BaseException as exc:  # surfaced by tests via .error
+            self.error = exc
+
+
+class SyntheticAlgorithm(LasVegasAlgorithm):
+    name = "synthetic"
+
+    def _run(self, rng: np.random.Generator) -> RunResult:
+        iterations = int(rng.integers(1, 1000))
+        return RunResult(
+            solved=bool(rng.random() < 0.7), iterations=iterations, runtime_seconds=0.0
+        )
+
+
+def _sat_solver() -> WalkSAT:
+    formula, _ = random_planted_ksat(30, 126, rng=np.random.default_rng(11))
+    return WalkSAT(formula, WalkSATConfig(max_flips=500))
+
+
+def _reassemble(pairs, n_runs):
+    """Check the permutation contract and return results in index order."""
+    results = [None] * n_runs
+    for index, result in pairs:
+        assert results[index] is None, f"index {index} delivered twice"
+        results[index] = result
+    assert all(r is not None for r in results), "indices are not a full permutation"
+    return results
+
+
+def _assert_matches_collect_batch(results, reference):
+    assert [r.iterations for r in results] == list(reference.iterations)
+    assert [r.solved for r in results] == list(reference.solved)
+    assert [r.seed for r in results] == list(reference.seeds)
+
+
+class TestIterBatchBackends:
+    """Satellite gate: iter_batch on every backend, workers 1 and 4."""
+
+    N_RUNS = 12
+    BASE_SEED = 17
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return collect_batch(
+            _sat_solver(), self.N_RUNS, base_seed=self.BASE_SEED, backend="serial"
+        )
+
+    def _stream(self, backend, workers=None):
+        return list(
+            iter_batch(
+                _sat_solver(),
+                self.N_RUNS,
+                base_seed=self.BASE_SEED,
+                backend=backend,
+                workers=workers,
+            )
+        )
+
+    def test_serial(self, reference):
+        results = _reassemble(self._stream("serial"), self.N_RUNS)
+        _assert_matches_collect_batch(results, reference)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_thread(self, workers, reference):
+        results = _reassemble(self._stream("thread", workers), self.N_RUNS)
+        _assert_matches_collect_batch(results, reference)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_process(self, workers, reference):
+        results = _reassemble(self._stream("process", workers), self.N_RUNS)
+        _assert_matches_collect_batch(results, reference)
+
+    @pytest.mark.parametrize("width", [1, 4])
+    def test_lockstep(self, width, reference):
+        results = _reassemble(
+            self._stream(LockstepBackend(width=width)), self.N_RUNS
+        )
+        _assert_matches_collect_batch(results, reference)
+
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    def test_distributed(self, n_workers, reference, tmp_path):
+        backend = DistributedBackend(job_dir=tmp_path, poll_interval=0.01)
+        workers = [
+            _WorkerThread(job_dir=tmp_path, poll_interval=0.01)
+            for _ in range(n_workers)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            results = _reassemble(self._stream(backend), self.N_RUNS)
+        finally:
+            backend.shutdown()
+        for worker in workers:
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+            if worker.error is not None:
+                raise worker.error
+        _assert_matches_collect_batch(results, reference)
+
+
+class TestIterRuns:
+    def test_explicit_seeds_and_indices(self):
+        seeds = spawn_seeds(5, 8)[3:]  # a mid-stream slice, as the controller issues
+        pairs = list(
+            iter_runs(SyntheticAlgorithm(), seeds, indices=range(3, 8), backend="thread", workers=3)
+        )
+        assert sorted(index for index, _ in pairs) == [3, 4, 5, 6, 7]
+        by_index = dict(pairs)
+        # Same seeds run serially under default indices give the same results.
+        serial = dict(iter_runs(SyntheticAlgorithm(), seeds))
+        for offset, seed in enumerate(seeds):
+            assert by_index[3 + offset].iterations == serial[offset].iterations
+            assert by_index[3 + offset].seed == seed
+
+    def test_mismatched_indices_rejected(self):
+        with pytest.raises(ValueError, match="must pair up"):
+            list(iter_runs(SyntheticAlgorithm(), [1, 2, 3], indices=[0, 1]))
+
+    def test_iter_batch_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            list(iter_batch(SyntheticAlgorithm(), 0))
+
+    def test_results_arrive_incrementally(self):
+        """The iterator yields without waiting for the whole batch."""
+        iterator = iter_batch(SyntheticAlgorithm(), 50, base_seed=3)
+        first = next(iterator)
+        assert isinstance(first[0], int)
+        iterator.close()  # early stop must not raise

@@ -1,0 +1,164 @@
+"""Streaming censoring-aware fitters (repro.stats.online).
+
+Two contracts matter: the censored-exponential edge-case policy is
+*centralised* (``censored_mean_or_none`` is the single answer to
+all-censored / none-censored / single-observation batches), and the
+streaming fitters are *batch-exact* — after any prefix of the stream,
+``StreamingCensoredExponential.fit()`` equals
+``censored_exponential_fit`` applied to that prefix.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.censoring import censored_exponential_fit
+from repro.stats.online import (
+    StreamingCensoredExponential,
+    StreamingLognormal,
+    StreamingMoments,
+    censored_mean_or_none,
+)
+
+
+def _censored_stream(rng, n, censored_fraction, budget=400.0):
+    """(values, flags): exponential draws, the requested fraction censored."""
+    n_censored = int(round(n * censored_fraction))
+    values = np.concatenate(
+        [rng.exponential(120.0, size=n - n_censored) + 10.0, np.full(n_censored, budget)]
+    )
+    flags = np.concatenate(
+        [np.zeros(n - n_censored, dtype=bool), np.ones(n_censored, dtype=bool)]
+    )
+    order = rng.permutation(n)
+    return values[order], flags[order]
+
+
+class TestCensoredMeanOrNone:
+    """The centralized edge-case policy, parametrized over censoring levels."""
+
+    @pytest.mark.parametrize("censored_fraction", [0.0, 0.5, 1.0])
+    def test_censoring_levels(self, rng, censored_fraction):
+        values, flags = _censored_stream(rng, 40, censored_fraction)
+        mean = censored_mean_or_none(values, flags)
+        if censored_fraction in (0.0, 1.0):
+            # No censoring: the naive mean is already unbiased.  All
+            # censored: the rate is not identifiable.  Both answer None.
+            assert mean is None
+        else:
+            assert mean == censored_exponential_fit(values, flags).mean()
+            # Censoring correction pushes the mean above the clipped average.
+            assert mean > float(values.mean())
+
+    def test_empty_input(self):
+        assert censored_mean_or_none([], []) is None
+
+    def test_single_uncensored_observation_stays_finite(self):
+        mean = censored_mean_or_none([50.0, 400.0, 400.0], [False, True, True])
+        assert mean is not None and math.isfinite(mean)
+
+    def test_single_run_all_censored(self):
+        assert censored_mean_or_none([400.0], [True]) is None
+
+
+class TestStreamingCensoredExponential:
+    @pytest.mark.parametrize("censored_fraction", [0.0, 0.5, 1.0])
+    def test_matches_batch_fit_at_every_prefix(self, rng, censored_fraction):
+        """The tentpole contract: exact agreement with the batch MLE after
+        *any* prefix, at every censoring level."""
+        values, flags = _censored_stream(rng, 30, censored_fraction)
+        stream = StreamingCensoredExponential()
+        for i, (value, censored) in enumerate(zip(values, flags), start=1):
+            stream.update(value, censored)
+            prefix_values, prefix_flags = values[:i], flags[:i]
+            fit = stream.fit()
+            if not (~prefix_flags).any():
+                assert fit is None  # all censored so far: not identifiable
+                assert stream.mean is None
+                continue
+            batch = censored_exponential_fit(prefix_values, prefix_flags)
+            assert fit.x0 == batch.x0
+            assert fit.lam == pytest.approx(batch.lam, rel=1e-12)
+            assert stream.mean == pytest.approx(batch.mean(), rel=1e-12)
+
+    def test_counts_and_censored_fraction(self):
+        stream = StreamingCensoredExponential()
+        assert stream.censored_fraction is None
+        stream.update(10.0, censored=False)
+        stream.update(99.0, censored=True)
+        stream.update(99.0, censored=True)
+        assert stream.count == 3
+        assert stream.censored_fraction == pytest.approx(2 / 3)
+
+    def test_retroactive_shift_lowering(self):
+        """A later, smaller event lowers the shift; censored thresholds below
+        the new shift clip to zero exposure, exactly as in the batch MLE."""
+        values = [100.0, 5.0, 2.0]  # censored@100, event@5, event@2
+        flags = [True, False, False]
+        stream = StreamingCensoredExponential()
+        for value, censored in zip(values, flags):
+            stream.update(value, censored)
+        batch = censored_exponential_fit(np.array(values), np.array(flags))
+        assert stream.fit().x0 == batch.x0 == 2.0
+        assert stream.fit().lam == pytest.approx(batch.lam, rel=1e-12)
+
+    def test_rejects_bad_observations(self):
+        stream = StreamingCensoredExponential()
+        with pytest.raises(ValueError):
+            stream.update(-1.0, censored=False)
+        with pytest.raises(ValueError):
+            stream.update(float("nan"), censored=True)
+
+    def test_single_event_degenerate_sample_clamped(self):
+        stream = StreamingCensoredExponential()
+        stream.update(42.0, censored=False)
+        fit = stream.fit()
+        assert fit is not None and math.isfinite(fit.lam)
+        assert fit.x0 == 42.0
+
+
+class TestStreamingMoments:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(5.0, 2.0, size=200)
+        moments = StreamingMoments()
+        moments.update_many(values)
+        assert moments.count == 200
+        assert moments.mean == pytest.approx(float(values.mean()), rel=1e-12)
+        assert moments.variance == pytest.approx(float(values.var(ddof=1)), rel=1e-10)
+        assert moments.minimum == float(values.min())
+        assert moments.maximum == float(values.max())
+
+    def test_below_two_observations(self):
+        moments = StreamingMoments()
+        assert moments.variance is None and moments.std is None
+        moments.update(3.0)
+        assert moments.variance is None
+
+
+class TestStreamingLognormal:
+    def test_matches_log_space_mle(self, rng):
+        values = rng.lognormal(2.0, 0.7, size=150)
+        stream = StreamingLognormal()
+        for value in values:
+            stream.update(value)
+        logs = np.log(values)
+        assert stream.mu == pytest.approx(float(logs.mean()), rel=1e-12)
+        assert stream.sigma == pytest.approx(float(logs.std()), rel=1e-10)  # MLE: ddof=0
+        assert stream.mean == pytest.approx(
+            math.exp(logs.mean() + 0.5 * logs.std() ** 2), rel=1e-10
+        )
+
+    def test_censored_updates_count_separately(self):
+        stream = StreamingLognormal()
+        stream.update(10.0)
+        stream.update(999.0, censored=True)
+        assert stream.n_events == 1
+        assert stream.n_censored == 1
+        assert stream.count == 2
+        assert stream.sigma is None  # shape needs two events
+
+    def test_rejects_nonpositive_events(self):
+        stream = StreamingLognormal()
+        with pytest.raises(ValueError):
+            stream.update(0.0)
