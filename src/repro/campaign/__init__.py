@@ -35,7 +35,12 @@ from repro.campaign.orchestrator import (
     verify_report,
 )
 from repro.campaign.report import CampaignReport, StageReport
-from repro.campaign.stages import StageGraphError, StageSpec, resolve_stage_order
+from repro.campaign.stages import (
+    StageGraphError,
+    StageSpec,
+    resolve_stage_order,
+    select_stages,
+)
 
 __all__ = [
     "AdaptiveController",
@@ -56,5 +61,6 @@ __all__ = [
     "replay_decisions",
     "resolve_stage_order",
     "run_campaign",
+    "select_stages",
     "verify_report",
 ]

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -141,16 +141,24 @@ class DecisionLog:
     lists, mapping keys to strings) so an in-memory log compares equal to
     the same log after a save/load round-trip — the property the replay
     determinism gate relies on.
+
+    ``listener``, when given, receives each decision right after it is
+    appended — the seam the campaign service streams live decision events
+    through.  Listeners observe; they must not influence the campaign (a
+    listener exception would abort it, which is the safe direction).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, listener: "Callable[[Decision], None] | None" = None) -> None:
         self.decisions: list[Decision] = []
+        self._listener = listener
 
     def append(self, stage: str, kind: str, **detail) -> Decision:
         decision = Decision(
             seq=len(self.decisions), stage=stage, kind=kind, detail=_jsonify(detail)
         )
         self.decisions.append(decision)
+        if self._listener is not None:
+            self._listener(decision)
         return decision
 
     def as_dicts(self) -> list[dict]:

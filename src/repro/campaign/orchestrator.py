@@ -39,6 +39,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.campaign.controller import (
     Controller,
+    Decision,
     DecisionLog,
     RoundPlan,
     StageRunRecord,
@@ -218,6 +219,7 @@ def run_campaign(
     dry_run: bool = False,
     enforce_required: bool = True,
     precollected: Mapping[str, RuntimeObservations] | None = None,
+    decision_listener: Callable[[Decision], None] | None = None,
 ) -> CampaignReport:
     """Execute (or, with ``dry_run``, only plan) a campaign stage DAG.
 
@@ -248,6 +250,10 @@ def run_campaign(
         Already-collected batches keyed by stage key; matching stages are
         reported from them instead of re-executing (the in-process memo
         path of the collectors).  Consulted by the ``off`` controller only.
+    decision_listener:
+        Optional callback receiving each decision as it is appended to the
+        log (the campaign service streams decision events through it).
+        Observational only: the campaign neither waits for nor consults it.
 
     Raises
     ------
@@ -268,7 +274,7 @@ def run_campaign(
         controller_name = controller if controller is not None else "off"
     controller_params = {} if prototype is None else prototype.params()
 
-    log = DecisionLog()
+    log = DecisionLog(listener=decision_listener)
     if dry_run:
         for stage in order:
             _log_dry_run_plan(log, stage, controller_name)

@@ -171,6 +171,24 @@ class CampaignReport:
     def decision_dicts(self) -> list[dict]:
         return [decision.as_dict() for decision in self.decisions]
 
+    def summary(self) -> dict:
+        """Campaign-level counts for status displays (service API, logs).
+
+        Deliberately tiny and JSON-ready: a status poll must not drag the
+        full run streams over the wire — that is what the report endpoint
+        is for.
+        """
+        return {
+            "controller": self.controller,
+            "dry_run": self.dry_run,
+            "stages": len(self.stages),
+            "issued": sum(stage.n_issued for stage in self.stages),
+            "solved": sum(stage.n_solved for stage in self.stages),
+            "decisions": len(self.decisions),
+            "failed_stage": self.failed_stage,
+            "failure_reason": self.failure_reason,
+        }
+
     def as_dict(self) -> dict:
         return {
             "format": REPORT_FORMAT,

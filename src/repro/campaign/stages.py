@@ -18,11 +18,12 @@ same campaign always execute, print and log stages identically.
 from __future__ import annotations
 
 import dataclasses
+import fnmatch
 from typing import Callable, Sequence
 
 from repro.solvers.base import LasVegasAlgorithm
 
-__all__ = ["StageGraphError", "StageSpec", "resolve_stage_order"]
+__all__ = ["StageGraphError", "StageSpec", "resolve_stage_order", "select_stages"]
 
 
 class StageGraphError(ValueError):
@@ -133,3 +134,34 @@ def resolve_stage_order(stages: Sequence[StageSpec]) -> list[StageSpec]:
         done.add(nxt.key)
         remaining.remove(nxt)
     return order
+
+
+def select_stages(stages: Sequence[StageSpec], patterns_arg: str) -> list[StageSpec]:
+    """Filter a stage DAG by comma-separated key globs, keeping dependencies.
+
+    Returns the selected stages in their original declaration order.
+    Dependencies of selected stages are pulled in transitively so the DAG
+    stays resolvable.  Raises :class:`ValueError` (with a human-readable
+    message) for an empty pattern list or a pattern matching nothing —
+    both the CLI and the campaign service surface that message verbatim.
+    """
+    patterns = [p.strip() for p in patterns_arg.split(",") if p.strip()]
+    if not patterns:
+        raise ValueError("--stages got an empty pattern list")
+    by_key = {stage.key: stage for stage in stages}
+    selected: set[str] = set()
+    for pattern in patterns:
+        hits = fnmatch.filter(by_key, pattern)
+        if not hits:
+            known = ", ".join(by_key)
+            raise ValueError(
+                f"--stages pattern {pattern!r} matches no stage (stages: {known})"
+            )
+        selected.update(hits)
+    frontier = list(selected)
+    while frontier:  # dependency closure over `after`
+        for dep in by_key[frontier.pop()].after:
+            if dep not in selected:
+                selected.add(dep)
+                frontier.append(dep)
+    return [stage for stage in stages if stage.key in selected]

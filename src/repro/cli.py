@@ -28,13 +28,21 @@ Subcommands
     Join a distributed campaign: connect to a coordinator (``--connect``) or
     watch a job directory (``--job-dir``), pull work units, run them on a
     local backend, and stream results back until the coordinator shuts down.
+    ``--token`` authenticates against a coordinator started with a worker
+    token.
+``serve``
+    Run the long-lived campaign service: an HTTP/JSON API (submit, status,
+    live event streaming, report fetch, cancel) in front of a bounded job
+    queue, a multi-tenant observation cache and any engine backend —
+    including ``--backend distributed``, where the service doubles as the
+    coordinator for an authenticated worker fleet (``--worker-token``).
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
-import fnmatch
+import signal
 import sys
 from pathlib import Path
 
@@ -46,12 +54,13 @@ from repro.campaign import (
     CampaignReport,
     ReplayError,
     run_campaign,
+    select_stages,
     verify_report,
 )
 from repro.core.prediction import predict_speedup_curve, predict_speedup_empirical
 from repro.engine.backends import BatchExecutor
 from repro.engine.core import BACKENDS, resolve_backend
-from repro.engine.distributed import DistributedBackend, run_worker
+from repro.engine.distributed import DistributedBackend, ProtocolError, run_worker
 from repro.engine.lockstep import LockstepBackend
 from repro.engine.progress import BatchProgress
 from repro.experiments.config import SAT_FAMILIES, ExperimentConfig
@@ -190,6 +199,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="with --backend distributed: fail if no unit completes for this long "
         "(default: wait forever)",
+    )
+    parser.add_argument(
+        "--worker-token",
+        type=str,
+        default=None,
+        metavar="TOKEN",
+        help="with --backend distributed --coordinator: shared secret workers "
+        "must present in their handshake (unauthenticated workers are refused)",
     )
 
 
@@ -344,6 +361,72 @@ def build_parser() -> argparse.ArgumentParser:
     worker_parser.add_argument(
         "--name", type=str, default=None, help="worker name announced to the coordinator"
     )
+    worker_parser.add_argument(
+        "--token",
+        type=str,
+        default=None,
+        metavar="TOKEN",
+        help="shared secret presented to the coordinator's handshake (required "
+        "when the coordinator was started with --worker-token)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat-seconds",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="cadence of lease-refreshing heartbeats while a unit executes "
+        "(socket mode; 0 disables, default: 5)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived campaign service (HTTP/JSON submit/stream/report API)",
+    )
+    serve_parser.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 picks a free port; default: 8321)"
+    )
+    serve_parser.add_argument(
+        "--token",
+        type=str,
+        default=None,
+        metavar="TOKEN",
+        help="shared API token clients must send as 'Authorization: Bearer ...' "
+        "(default: no HTTP authentication; /healthz is always open)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queued-job bound; a full queue answers 429 + Retry-After (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="Retry-After hint sent with 429 responses (default: 5)",
+    )
+    serve_parser.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU byte bound of the multi-tenant observation store rooted at "
+        "--cache (least-recently-used batches are evicted beyond it)",
+    )
+    serve_parser.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on shutdown, let the running job (and distributed workers) finish "
+        "for up to this long before cancelling (default: 10)",
+    )
+    _add_engine_arguments(serve_parser)
 
     return parser
 
@@ -382,17 +465,23 @@ def _validate_engine_args(args: argparse.Namespace) -> str | None:
             return f"--unit-size must be >= 1, got {args.unit_size}"
         if args.batch_timeout is not None and args.batch_timeout <= 0:
             return f"--batch-timeout must be positive, got {args.batch_timeout:g}"
+        if args.worker_token is not None and args.coordinator is None:
+            return (
+                "--worker-token requires --coordinator (the job directory's "
+                "trust boundary is its filesystem permissions)"
+            )
     elif (
         args.coordinator is not None
         or args.job_dir is not None
         or args.unit_size is not None
         or args.batch_timeout is not None
+        or args.worker_token is not None
     ):
         # Silently ignoring tuning flags would hide misconfiguration (e.g. a
         # user expecting --batch-timeout to bound a process-backend campaign).
         return (
-            "--coordinator/--job-dir/--unit-size/--batch-timeout require "
-            "--backend distributed"
+            "--coordinator/--job-dir/--unit-size/--batch-timeout/--worker-token "
+            "require --backend distributed"
         )
     return None
 
@@ -413,6 +502,7 @@ def _engine_backend(args: argparse.Namespace) -> str | BatchExecutor:
         job_dir=args.job_dir,
         unit_size=args.unit_size if args.unit_size is not None else 4,
         batch_timeout=args.batch_timeout,
+        auth_token=args.worker_token,
     )
 
 
@@ -477,33 +567,6 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _select_stages(stages: list, patterns_arg: str) -> list | str:
-    """Filter the stage DAG by comma-separated key globs, keeping dependencies.
-
-    Returns the selected stages in their original declaration order, or an
-    error message when a pattern matches nothing.  Dependencies of selected
-    stages are pulled in transitively so the DAG stays resolvable.
-    """
-    patterns = [p.strip() for p in patterns_arg.split(",") if p.strip()]
-    if not patterns:
-        return "--stages got an empty pattern list"
-    by_key = {stage.key: stage for stage in stages}
-    selected: set[str] = set()
-    for pattern in patterns:
-        hits = fnmatch.filter(by_key, pattern)
-        if not hits:
-            known = ", ".join(by_key)
-            return f"--stages pattern {pattern!r} matches no stage (stages: {known})"
-        selected.update(hits)
-    frontier = list(selected)
-    while frontier:  # dependency closure over `after`
-        for dep in by_key[frontier.pop()].after:
-            if dep not in selected:
-                selected.add(dep)
-                frontier.append(dep)
-    return [stage for stage in stages if stage.key in selected]
-
-
 def _print_dry_run(report: CampaignReport) -> None:
     """Render the dry-run plan: stage DAG, seed blocks and the static plan."""
     plans = [d for d in report.decision_dicts() if d["kind"] == "dry-run-plan"]
@@ -548,9 +611,10 @@ def _command_campaign(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     stages = campaign_stages_for(config)
     if args.stages is not None:
-        stages = _select_stages(stages, args.stages)
-        if isinstance(stages, str):
-            print(f"error: {stages}", file=sys.stderr)
+        try:
+            stages = select_stages(stages, args.stages)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
 
     if args.dry_run:
@@ -629,22 +693,89 @@ def _command_worker(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.token is not None and args.connect is None:
+        print("error: --token requires --connect (socket transport)", file=sys.stderr)
+        return 2
     executor = resolve_backend(args.backend, args.workers)
-    stats = run_worker(
-        coordinator=args.connect,
-        job_dir=args.job_dir,
-        executor=executor,
-        cache_dir=args.cache_dir,
-        poll_interval=args.poll_interval,
-        connect_timeout=args.connect_timeout,
-        max_units=args.max_units,
-        name=args.name,
-    )
+    try:
+        stats = run_worker(
+            coordinator=args.connect,
+            job_dir=args.job_dir,
+            executor=executor,
+            cache_dir=args.cache_dir,
+            poll_interval=args.poll_interval,
+            connect_timeout=args.connect_timeout,
+            max_units=args.max_units,
+            name=args.name,
+            token=args.token,
+            heartbeat_seconds=args.heartbeat_seconds,
+        )
+    except ProtocolError as exc:
+        # Version mismatch or a refused handshake (e.g. bad --token): a
+        # worker that cannot join must exit loudly, not crash-loop.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(
         f"worker done: units={stats.units_completed} runs={stats.runs_completed} "
         f"cache-hits={stats.cache_hits}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    error = _validate_engine_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.max_queue < 1:
+        print(f"error: --max-queue must be >= 1, got {args.max_queue}", file=sys.stderr)
+        return 2
+    if args.max_cache_bytes is not None and args.cache_dir is None:
+        print("error: --max-cache-bytes requires --cache DIR", file=sys.stderr)
+        return 2
+    # Imported lazily: every other subcommand works without the service
+    # package's HTTP machinery ever loading.
+    from repro.service import CampaignServer, JobManager, TenantCacheStore
+
+    store = None
+    if args.cache_dir is not None:
+        store = TenantCacheStore(args.cache_dir, max_bytes=args.max_cache_bytes)
+    backend = _engine_backend(args)
+    if isinstance(backend, DistributedBackend):
+        # Bind the coordinator before announcing readiness so workers can
+        # connect the moment the address is printed.
+        coordinator_address = backend.start()
+        print(f"coordinator listening on {coordinator_address}", file=sys.stderr, flush=True)
+    manager = JobManager(
+        backend=backend,
+        workers=args.workers if isinstance(backend, str) else None,
+        store=store,
+        max_queue=args.max_queue,
+        retry_after=args.retry_after,
+    )
+    server = CampaignServer(manager, host=args.host, port=args.port, token=args.token)
+    auth = "token required" if args.token is not None else "no auth"
+    print(
+        f"campaign service listening on {server.url} ({auth}, queue<={args.max_queue})",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    # SIGTERM (and SIGINT even when the process was started in the
+    # background, where the shell leaves it SIG_IGN) must trigger the same
+    # graceful drain as ^C at a terminal.
+    def _graceful_exit(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful_exit)
+    signal.signal(signal.SIGINT, _graceful_exit)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining)...", file=sys.stderr, flush=True)
+    finally:
+        server.stop(drain_seconds=args.drain_seconds)
     return 0
 
 
@@ -662,6 +793,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_campaign(args)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -129,9 +129,7 @@ class ObservationCache:
     ) -> RuntimeObservations | None:
         """Return the cached batch, or ``None`` on a miss."""
         path = self.path_for(algorithm, n_runs, base_seed, label=label)
-        if not path.exists():
-            return None
-        return RuntimeObservations.load(path)
+        return self.read_batch(path)
 
     def store(
         self,
@@ -144,5 +142,19 @@ class ObservationCache:
     ) -> Path:
         """Persist a batch and return the file it was written to."""
         path = self.path_for(algorithm, n_runs, base_seed, label=label)
-        observations.save(path)
+        self.write_batch(observations, path)
         return path
+
+    # -- persistence hooks ---------------------------------------------
+    # Key derivation above is the contract every layer shares; *where* the
+    # bytes live is a policy subclasses may override (the campaign service
+    # routes these through a shared multi-tenant store with LRU eviction).
+    def read_batch(self, path: Path) -> RuntimeObservations | None:
+        """Read the batch at a derived cache path (``None`` on a miss)."""
+        if not path.exists():
+            return None
+        return RuntimeObservations.load(path)
+
+    def write_batch(self, observations: RuntimeObservations, path: Path) -> None:
+        """Write a batch to a derived cache path."""
+        observations.save(path)

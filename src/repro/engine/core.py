@@ -220,9 +220,9 @@ def collect_batch(
         # stored under a post-run fingerprint that no fresh process (probing
         # with a pristine object) could ever look up.
         cache_path = cache.path_for(algorithm, n_runs, base_seed, label=batch_label)
-        if cache_path.exists():
-            load_start = time.perf_counter()
-            cached = RuntimeObservations.load(cache_path)
+        load_start = time.perf_counter()
+        cached = cache.read_batch(cache_path)
+        if cached is not None:
             if progress is not None:
                 # One completion event (fraction 1.0) so callers driving a
                 # progress display can tell a cache hit from a silent hang.
@@ -264,7 +264,8 @@ def collect_batch(
     assert completed == n_runs  # every backend must deliver every run
     batch = RuntimeObservations.from_results(batch_label, results)
     if cache_path is not None:
-        batch.save(cache_path)
+        assert isinstance(cache, ObservationCache)
+        cache.write_batch(batch, cache_path)
     return batch
 
 

@@ -17,13 +17,23 @@ Two transports share one protocol (:data:`repro.engine.tasks.PROTOCOL_VERSION`):
   UTF-8).  Pickled payloads travel base64-encoded inside the JSON.  The
   message flow::
 
-      worker -> {"type": "hello", "protocol": 1, "worker": "<name>"}
-      coord  -> {"type": "welcome", "protocol": 1}        (or "error" + close)
+      worker -> {"type": "hello", "protocol": 2, "worker": "<name>", "token": "..."}
+      coord  -> {"type": "welcome", "protocol": 2}        (or "error" + close)
       worker -> {"type": "request"}
       coord  -> {"type": "unit", "unit_id": ..., "payload": <b64 pickle>}
                 | {"type": "idle"}                        (retry later)
+      worker -> {"type": "heartbeat"}                     (while executing; no reply)
       worker -> {"type": "result", "unit_id": ..., "payload": <b64 pickle>}
                 | {"type": "failed", "unit_id": ..., "reason": "..."}
+
+  A coordinator constructed with ``auth_token`` refuses the handshake of any
+  worker whose hello does not carry the same token (constant-time compare),
+  so a fleet exposed on a shared network only accepts its own workers.
+  While a unit executes, the worker's heartbeat thread refreshes the
+  coordinator-side lease of every unit it holds: slow-but-alive workers are
+  never speculatively re-issued, while a wedged (or killed) worker's units
+  go stale within ``lease_seconds`` and are re-issued to the rest of the
+  fleet — result dedup on ``unit_id`` keeps re-issues idempotent either way.
 
   A worker that dies mid-unit drops its connection; the coordinator requeues
   every unit checked out on that connection, and speculatively re-issues
@@ -63,6 +73,7 @@ from __future__ import annotations
 import base64
 import collections
 import dataclasses
+import hmac
 import json
 import os
 import pickle
@@ -260,6 +271,20 @@ class UnitLedger:
             held = [uid for uid, owners in self._outstanding.items() if owner in owners]
         return sum(self.requeue(uid, owner) for uid in held)
 
+    def touch(self, owner: str) -> int:
+        """Refresh the lease of every unit ``owner`` holds (worker heartbeat).
+
+        Returns how many outstanding units were refreshed.  A heartbeating
+        worker on a slow unit therefore never trips the speculative
+        re-issue, no matter how heavy-tailed the run.
+        """
+        now = time.monotonic()
+        with self._lock:
+            held = [uid for uid, owners in self._outstanding.items() if owner in owners]
+            for uid in held:
+                self._issued_at[uid] = now
+        return len(held)
+
     def complete(self, result: UnitResult) -> bool:
         """Record a finished unit; ``False`` for duplicates or unknown ids."""
         with self._lock:
@@ -376,12 +401,13 @@ class _CoordinatorServer:
     (idle-polling) in between.  ``set_ledger`` installs the active batch.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int, auth_token: str | None = None) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
         self._sock.listen()
         self._sock.settimeout(0.2)  # lets the accept loop notice close()
+        self._auth_token = auth_token
         self.host, self.port = self._sock.getsockname()[:2]
         self._ledger: UnitLedger | None = None
         self._ledger_lock = threading.Lock()
@@ -455,12 +481,32 @@ class _CoordinatorServer:
                     },
                 )
                 return
+            if self._auth_token is not None and not hmac.compare_digest(
+                str(hello.get("token") or ""), self._auth_token
+            ):
+                # Constant-time compare; the reason deliberately does not
+                # reveal whether the token was missing or merely wrong.
+                _send(
+                    stream,
+                    {
+                        "type": "error",
+                        "reason": "authentication failed: bad or missing worker token",
+                    },
+                )
+                return
             _send(stream, {"type": "welcome", "protocol": PROTOCOL_VERSION})
             while not self._closed.is_set():
                 message = _recv(stream)
                 if message is None:
                     break
-                if message["type"] == "request":
+                if message["type"] == "heartbeat":
+                    # Refresh the lease of every unit this connection holds;
+                    # heartbeats are fire-and-forget (no reply), so they can
+                    # interleave with the request/response flow freely.
+                    ledger = self._current_ledger()
+                    if ledger is not None:
+                        ledger.touch(owner)
+                elif message["type"] == "request":
                     ledger = self._current_ledger()
                     unit = ledger.checkout(owner) if ledger is not None else None
                     if unit is None:
@@ -561,6 +607,7 @@ class DistributedBackend(BatchExecutor):
         lease_seconds: float = 30.0,
         batch_timeout: float | None = None,
         max_unit_failures: int = 3,
+        auth_token: str | None = None,
     ) -> None:
         if workers is not None:
             raise ValueError(
@@ -575,8 +622,14 @@ class DistributedBackend(BatchExecutor):
             )
         if unit_size < 1:
             raise ValueError(f"unit_size must be >= 1, got {unit_size}")
+        if auth_token is not None and coordinator is None:
+            raise ValueError(
+                "auth_token applies to the socket transport only; the job "
+                "directory's trust boundary is its filesystem permissions"
+            )
         self.coordinator = coordinator
         self.job_dir = Path(job_dir) if job_dir is not None else None
+        self.auth_token = auth_token
         self.unit_size = unit_size
         self.poll_interval = poll_interval
         self.lease_seconds = lease_seconds
@@ -607,19 +660,31 @@ class DistributedBackend(BatchExecutor):
         if self.coordinator is not None:
             if self._server is None:
                 host, port = _parse_address(self.coordinator)
-                self._server = _CoordinatorServer(host, port)
+                self._server = _CoordinatorServer(host, port, auth_token=self.auth_token)
             return self._server.address
         self._init_job_dir()
         return str(self.job_dir)
 
-    def shutdown(self) -> None:
+    def shutdown(self, *, drain_seconds: float = 0.0) -> None:
         """Stop serving: close worker connections / write the STOP marker.
 
         Connected socket workers see EOF and exit; job-directory workers see
         ``STOP`` and exit once no claimable work remains.  Idempotent.
+
+        ``drain_seconds`` > 0 waits (up to that long) for the in-flight
+        batch's ledger to finish before closing, so a service shutting down
+        does not sever workers mid-unit when the remaining work is almost
+        done.  The default tears down immediately, as before.
         """
         if self._closed:
             return
+        if drain_seconds > 0 and self._server is not None:
+            deadline = time.monotonic() + drain_seconds
+            while time.monotonic() < deadline:
+                ledger = self._server._current_ledger()
+                if ledger is None or ledger.done:
+                    break
+                time.sleep(min(0.05, self.poll_interval))
         self._closed = True
         if self._server is not None:
             self._server.close()
@@ -834,6 +899,8 @@ def run_worker(
     connect_timeout: float = 30.0,
     max_units: int | None = None,
     name: str | None = None,
+    token: str | None = None,
+    heartbeat_seconds: float = 5.0,
 ) -> WorkerStats:
     """Pull and execute work units until the coordinator shuts down.
 
@@ -862,9 +929,21 @@ def run_worker(
         Stop after completing this many units (mostly for tests).
     name:
         Worker name announced to the coordinator (default: ``host:pid``).
+    token:
+        Shared secret sent in the socket handshake.  A coordinator started
+        with an ``auth_token`` refuses workers whose token does not match;
+        socket transport only (the job directory's trust boundary is its
+        filesystem permissions).
+    heartbeat_seconds:
+        Cadence of ``heartbeat`` messages sent while a unit executes
+        (socket mode), refreshing the coordinator's leases on this worker's
+        units so long-running units are not speculatively re-issued.
+        ``0`` disables heartbeats (the pre-v2 behaviour).
     """
     if (coordinator is None) == (job_dir is None):
         raise ValueError("run_worker needs exactly one of coordinator= or job_dir=")
+    if token is not None and coordinator is None:
+        raise ValueError("token= applies to the socket transport, not job_dir=")
     if isinstance(executor, DistributedBackend):
         raise ValueError("workers must run units on a per-host backend, not 'distributed'")
     stats = WorkerStats()
@@ -872,7 +951,7 @@ def run_worker(
     if coordinator is not None:
         _socket_worker_loop(
             coordinator, executor, cache_dir, stats, poll_interval, connect_timeout,
-            max_units, worker_name,
+            max_units, worker_name, token, heartbeat_seconds,
         )
     else:
         _job_dir_worker_loop(
@@ -903,12 +982,25 @@ def _socket_worker_loop(
     connect_timeout: float,
     max_units: int | None,
     worker_name: str,
+    token: str | None = None,
+    heartbeat_seconds: float = 5.0,
 ) -> None:
     conn = _connect_with_retry(coordinator, connect_timeout)
     conn.settimeout(None)
     stream = conn.makefile("rwb")
+    # The heartbeat thread and the main loop share one socket; every write
+    # must hold this lock so messages never interleave mid-line.
+    write_lock = threading.Lock()
+
+    def send(message: dict) -> None:
+        with write_lock:
+            _send(stream, message)
+
     try:
-        _send(stream, {"type": "hello", "protocol": PROTOCOL_VERSION, "worker": worker_name})
+        hello = {"type": "hello", "protocol": PROTOCOL_VERSION, "worker": worker_name}
+        if token is not None:
+            hello["token"] = token
+        _send(stream, hello)
         reply = _recv(stream)
         if reply is None:
             return  # coordinator went away before the handshake finished
@@ -918,7 +1010,7 @@ def _socket_worker_loop(
             raise ProtocolError(f"unexpected handshake reply: {reply!r}")
         completed = 0
         while max_units is None or completed < max_units:
-            _send(stream, {"type": "request"})
+            send({"type": "request"})
             message = _recv(stream)
             if message is None:
                 break  # clean shutdown: the coordinator closed the connection
@@ -928,18 +1020,39 @@ def _socket_worker_loop(
             if message["type"] == "error":
                 raise ProtocolError(message.get("reason", "coordinator error"))
             unit: WorkUnit = _decode(message["payload"])
+            # While the unit executes, a side thread heartbeats so the
+            # coordinator keeps refreshing this worker's leases instead of
+            # speculatively re-issuing a long unit to someone else.
+            hb_stop = threading.Event()
+            hb_thread: threading.Thread | None = None
+            if heartbeat_seconds > 0:
+
+                def heartbeat_loop(stop: threading.Event = hb_stop) -> None:
+                    while not stop.wait(heartbeat_seconds):
+                        try:
+                            send({"type": "heartbeat", "worker": worker_name})
+                        except OSError:
+                            return  # connection gone; the main loop will notice
+
+                hb_thread = threading.Thread(
+                    target=heartbeat_loop, name=f"heartbeat-{worker_name}", daemon=True
+                )
+                hb_thread.start()
             try:
                 result = _execute_unit_cached(unit, executor, cache_dir, stats)
             except Exception as exc:
                 # A crashing payload must not kill the worker: report the
                 # failure so the coordinator can retry elsewhere (and give
                 # up loudly after max_unit_failures), then keep serving.
-                _send(
-                    stream,
-                    {"type": "failed", "unit_id": unit.unit_id, "reason": repr(exc)},
-                )
+                hb_stop.set()
+                if hb_thread is not None:
+                    hb_thread.join()
+                send({"type": "failed", "unit_id": unit.unit_id, "reason": repr(exc)})
                 continue
-            _send(stream, {"type": "result", "unit_id": result.unit_id, "payload": _encode(result)})
+            hb_stop.set()
+            if hb_thread is not None:
+                hb_thread.join()
+            send({"type": "result", "unit_id": result.unit_id, "payload": _encode(result)})
             completed += 1
     except (BrokenPipeError, ConnectionResetError):
         pass  # coordinator died mid-session; our units will be re-issued

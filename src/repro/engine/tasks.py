@@ -29,7 +29,9 @@ __all__ = [
 #: share it).  Bump on any incompatible change to the message shapes below or
 #: to the :class:`WorkUnit`/:class:`UnitResult` payloads; coordinators refuse
 #: workers announcing a different version rather than mis-decode their data.
-PROTOCOL_VERSION = 1
+#: v2: socket handshake carries an optional auth token and workers send
+#: periodic ``heartbeat`` messages while executing a unit.
+PROTOCOL_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)

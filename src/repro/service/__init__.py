@@ -1,0 +1,50 @@
+"""Campaign-as-a-service: a long-lived HTTP front end for the orchestrator.
+
+The CLI runs one campaign per process; this package keeps a solver fleet
+warm behind a small HTTP/JSON API so repeated campaigns share one process,
+one engine backend (including a distributed worker fleet) and one
+multi-tenant observation cache:
+
+* :mod:`repro.service.schema` — the wire format: JSON ↔
+  :class:`~repro.experiments.config.ExperimentConfig` and the validated
+  :class:`CampaignSubmission` envelope.
+* :mod:`repro.service.tenants` — the shared content-addressed observation
+  store with per-tenant namespaces, LRU byte-bound eviction and read
+  pinning, plus the :class:`repro.engine.cache.ObservationCache` adapter
+  the engine consumes.
+* :mod:`repro.service.jobs` — the bounded job queue: one executor thread,
+  per-job event streams (observations + controller decisions),
+  backpressure (:class:`QueueFull`) and cancellation.
+* :mod:`repro.service.server` — the stdlib HTTP server: submit, status,
+  chunked JSON-lines event streaming, report fetch, cancel, health; shared
+  bearer-token authentication.
+* :mod:`repro.service.client` — the matching :mod:`urllib`-based client
+  (used by the CI service-smoke lane and the benchmarks).
+
+Everything is standard library + the repo itself: no new dependencies.
+"""
+
+from repro.service.client import CampaignClient, ServiceError
+from repro.service.jobs import Job, JobCancelled, JobManager, QueueFull
+from repro.service.schema import (
+    CampaignSubmission,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.service.server import CampaignServer
+from repro.service.tenants import TenantCacheStore, TenantObservationCache
+
+__all__ = [
+    "CampaignClient",
+    "CampaignServer",
+    "CampaignSubmission",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "QueueFull",
+    "ServiceError",
+    "TenantCacheStore",
+    "TenantObservationCache",
+    "config_from_dict",
+    "config_to_dict",
+]

@@ -1,0 +1,150 @@
+"""Client for the campaign service (standard library :mod:`urllib` only).
+
+The bundled counterpart of :mod:`repro.service.server`: submit a campaign,
+poll its status, stream its live events (observations + controller
+decisions as JSON lines) and fetch the finished, replayable
+:class:`~repro.campaign.report.CampaignReport`.  The CI service-smoke lane
+and the service benchmark drive the server exclusively through this class,
+so it doubles as the API's executable specification.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator, Mapping
+
+from repro.campaign import CampaignReport
+from repro.service.jobs import TERMINAL_STATES
+from repro.service.schema import CampaignSubmission
+
+__all__ = ["CampaignClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, with status and decoded detail."""
+
+    def __init__(self, status: int, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.detail = message
+        self.retry_after = retry_after
+
+
+class CampaignClient:
+    """Talk to one campaign service.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` (a bare ``host:port`` is accepted too).
+    token:
+        Shared API token, sent as ``Authorization: Bearer …``.
+    timeout:
+        Per-request socket timeout in seconds (streams use it between
+        chunks, so it must exceed the server's keep-alive cadence).
+    """
+
+    def __init__(
+        self, base_url: str, *, token: str | None = None, timeout: float = 30.0
+    ) -> None:
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> urllib.request.Request:
+        headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        data = None
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        return urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+
+    def _call(self, method: str, path: str, payload: Mapping[str, Any] | None = None) -> dict:
+        request = self._request(method, path, payload)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            raise self._service_error(exc) from None
+
+    @staticmethod
+    def _service_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            detail = json.loads(exc.read()).get("error", exc.reason)
+        except (ValueError, OSError):
+            detail = str(exc.reason)
+        retry_after = exc.headers.get("Retry-After")
+        return ServiceError(
+            exc.code,
+            detail,
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    # -- API ------------------------------------------------------------
+    def health(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def submit(self, submission: CampaignSubmission | Mapping[str, Any]) -> str:
+        """Submit a campaign; returns the job id.
+
+        Raises :class:`ServiceError` with ``status == 429`` and a
+        ``retry_after`` hint when the queue is full.
+        """
+        if isinstance(submission, CampaignSubmission):
+            submission = submission.as_dict()
+        return self._call("POST", "/v1/campaigns", submission)["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/campaigns/{job_id}")
+
+    def list_jobs(self) -> list[dict]:
+        return self._call("GET", "/v1/campaigns")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("DELETE", f"/v1/campaigns/{job_id}")
+
+    def report(self, job_id: str) -> CampaignReport:
+        """Fetch the finished (or failed) job's replayable report."""
+        return CampaignReport.from_dict(self._call("GET", f"/v1/campaigns/{job_id}/report"))
+
+    def stream_events(self, job_id: str, *, since: int = 0) -> Iterator[dict]:
+        """Yield the job's events live, from ``since``, until it finishes.
+
+        Each yielded dict is one JSON line of the server's chunked stream
+        (``http.client`` de-chunks transparently); blank keep-alive lines
+        are filtered out.
+        """
+        request = self._request("GET", f"/v1/campaigns/{job_id}/events?since={since}")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                for raw in response:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            raise self._service_error(exc) from None
+
+    def wait(self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns the snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in TERMINAL_STATES:
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']!r} after {timeout:g}s"
+                )
+            time.sleep(poll)

@@ -560,3 +560,238 @@ class TestSATWorkloadFamilies:
         serial_files = sorted(p.name for p in (tmp_path / "serial").glob("*.json"))
         dist_files = sorted(p.name for p in (tmp_path / "dist").glob("*.json"))
         assert serial_files == dist_files and len(serial_files) == 1
+
+
+class SlowAlgorithm(LasVegasAlgorithm):
+    """Deterministic iterations, but slow enough to outlive a short lease."""
+
+    name = "slow"
+
+    def _run(self, rng: np.random.Generator) -> RunResult:
+        time.sleep(0.08)
+        return RunResult(solved=True, iterations=int(rng.integers(1, 1000)), runtime_seconds=0.0)
+
+
+class TestWorkerAuth:
+    """PROTOCOL v2: the socket handshake carries a shared worker token."""
+
+    def test_authenticated_workers_serve_batches(self):
+        backend = DistributedBackend(
+            coordinator="127.0.0.1:0", poll_interval=0.01, auth_token="fleet-secret"
+        )
+        backend.start()
+        workers = _spawn_workers(2, coordinator=backend.start(), token="fleet-secret")
+        try:
+            batch = collect_batch(
+                SyntheticAlgorithm(), 12, base_seed=3, backend=backend
+            )
+        finally:
+            backend.shutdown()
+        _join_workers(workers)
+        reference = collect_batch(SyntheticAlgorithm(), 12, base_seed=3)
+        np.testing.assert_array_equal(batch.iterations, reference.iterations)
+        np.testing.assert_array_equal(batch.seeds, reference.seeds)
+
+    @pytest.mark.parametrize("bad_token", [None, "wrong"], ids=["missing", "wrong"])
+    def test_unauthenticated_worker_is_refused(self, bad_token):
+        backend = DistributedBackend(
+            coordinator="127.0.0.1:0", poll_interval=0.01, auth_token="fleet-secret"
+        )
+        address = backend.start()
+        try:
+            worker = _spawn_workers(1, coordinator=address, token=bad_token)[0]
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+            assert isinstance(worker.error, ProtocolError)
+            assert "authentication failed" in str(worker.error)
+        finally:
+            backend.shutdown()
+
+    def test_refused_worker_does_not_poison_the_fleet(self):
+        """An auth failure affects that connection only; good workers serve on."""
+        backend = DistributedBackend(
+            coordinator="127.0.0.1:0", poll_interval=0.01, auth_token="fleet-secret"
+        )
+        address = backend.start()
+        bad = _spawn_workers(1, coordinator=address, token="wrong")[0]
+        bad.join(timeout=10.0)
+        good = _spawn_workers(1, coordinator=address, token="fleet-secret")
+        try:
+            batch = collect_batch(SyntheticAlgorithm(), 8, base_seed=5, backend=backend)
+        finally:
+            backend.shutdown()
+        _join_workers(good)
+        reference = collect_batch(SyntheticAlgorithm(), 8, base_seed=5)
+        np.testing.assert_array_equal(batch.iterations, reference.iterations)
+
+    def test_auth_token_requires_socket_transport(self, tmp_path):
+        with pytest.raises(ValueError, match="socket transport"):
+            DistributedBackend(job_dir=tmp_path / "jobs", auth_token="x")
+        with pytest.raises(ValueError, match="socket transport"):
+            run_worker(job_dir=tmp_path / "jobs", token="x")
+
+    def test_tokenless_coordinator_accepts_tokenless_worker(self, socket_backend):
+        """No auth configured (the pre-v2 default) keeps working unchanged."""
+        workers = _spawn_workers(1, coordinator=socket_backend.start())
+        batch = collect_batch(SyntheticAlgorithm(), 8, base_seed=7, backend=socket_backend)
+        socket_backend.shutdown()
+        _join_workers(workers)
+        reference = collect_batch(SyntheticAlgorithm(), 8, base_seed=7)
+        np.testing.assert_array_equal(batch.iterations, reference.iterations)
+
+
+class TestHeartbeats:
+    """PROTOCOL v2: workers heartbeat mid-unit to refresh their leases."""
+
+    def test_touch_refreshes_every_lease_of_the_owner(self):
+        units = shard_units(
+            execute_run,
+            [RunTask(SyntheticAlgorithm(), i, seed=i) for i in range(8)],
+            task_id="hb",
+            unit_size=4,
+        )
+        ledger = UnitLedger(units, lease_seconds=0.25)
+        first = ledger.checkout("w1")
+        assert first is not None
+        # Keep touching across several lease spans: the unit must never be
+        # speculatively re-issued to the second worker.
+        deadline = time.monotonic() + 0.8
+        other = []
+        while time.monotonic() < deadline:
+            assert ledger.touch("w1") == 1
+            got = ledger.checkout("w2")
+            if got is not None:
+                other.append(got.unit_id)
+            time.sleep(0.05)
+        assert first.unit_id not in other
+
+    def test_stale_lease_without_heartbeat_is_reissued(self):
+        units = shard_units(
+            execute_run,
+            [RunTask(SyntheticAlgorithm(), i, seed=i) for i in range(4)],
+            task_id="hb2",
+            unit_size=4,
+        )
+        ledger = UnitLedger(units, lease_seconds=0.1)
+        first = ledger.checkout("w1")
+        time.sleep(0.25)  # no touch: the lease lapses
+        again = ledger.checkout("w2")
+        assert again is not None and again.unit_id == first.unit_id
+
+    def test_touch_unknown_owner_is_a_noop(self):
+        units = shard_units(
+            execute_run,
+            [RunTask(SyntheticAlgorithm(), 0, seed=0)],
+            task_id="hb3",
+            unit_size=1,
+        )
+        ledger = UnitLedger(units, lease_seconds=10.0)
+        assert ledger.touch("ghost") == 0
+
+    def test_heartbeats_prevent_speculative_reissue_of_slow_units(self):
+        """A unit slower than the lease stays with its worker: heartbeats
+        refresh the lease, so no unit is ever executed twice."""
+        backend = DistributedBackend(
+            coordinator="127.0.0.1:0",
+            poll_interval=0.01,
+            lease_seconds=0.2,
+            unit_size=4,  # 4 runs x ~80ms >> the 200ms lease
+        )
+        backend.start()
+        workers = _spawn_workers(
+            2, coordinator=backend.start(), heartbeat_seconds=0.05
+        )
+        try:
+            batch = collect_batch(SlowAlgorithm(), 16, base_seed=13, backend=backend)
+        finally:
+            backend.shutdown()
+        _join_workers(workers)
+        # Every unit ran exactly once across the fleet: the lease never
+        # lapsed, so the ledger never re-issued one speculatively.
+        assert sum(w.stats.units_completed for w in workers) == 4
+        reference = collect_batch(SlowAlgorithm(), 16, base_seed=13)
+        np.testing.assert_array_equal(batch.iterations, reference.iterations)
+        np.testing.assert_array_equal(batch.seeds, reference.seeds)
+
+    def test_killed_heartbeating_worker_still_completes_campaign(self):
+        """ISSUE-9 acceptance: a worker that heartbeats, takes a unit and is
+        killed mid-campaign neither hangs nor duplicates observations."""
+        backend = DistributedBackend(
+            coordinator="127.0.0.1:0", poll_interval=0.01, lease_seconds=30.0
+        )
+        address = backend.start()
+        events = []
+        collector = threading.Thread(
+            target=lambda: events.append(
+                collect_batch(
+                    SlowAlgorithm(), 12, base_seed=17, backend=backend,
+                    progress=events.append,
+                )
+            ),
+            daemon=True,
+        )
+        collector.start()
+
+        # A doomed worker that handshakes, takes a unit and heartbeats a few
+        # times (refreshing its long lease) before dying: completion must
+        # come from the disconnect requeue, not from lease expiry.
+        host, _, port = address.rpartition(":")
+        doomed = socket.create_connection((host, int(port)))
+        stream = doomed.makefile("rwb")
+        _send(stream, {"type": "hello", "protocol": PROTOCOL_VERSION, "worker": "doomed"})
+        assert _recv(stream)["type"] == "welcome"
+        reply = {"type": "idle"}
+        deadline = time.monotonic() + 10.0
+        while reply["type"] == "idle":
+            assert time.monotonic() < deadline
+            _send(stream, {"type": "request"})
+            reply = _recv(stream)
+        assert reply["type"] == "unit"
+        for _ in range(3):
+            _send(stream, {"type": "heartbeat", "worker": "doomed"})
+            time.sleep(0.02)
+        stream.close()
+        doomed.close()
+
+        survivors = _spawn_workers(1, coordinator=address, heartbeat_seconds=0.05)
+        collector.join(timeout=30.0)
+        assert not collector.is_alive()
+        backend.shutdown()
+        _join_workers(survivors)
+
+        batch = events[-1]
+        progress = events[:-1]
+        assert sorted(e.index for e in progress) == list(range(12))  # no dupes, no holes
+        reference = collect_batch(SlowAlgorithm(), 12, base_seed=17)
+        np.testing.assert_array_equal(batch.iterations, reference.iterations)
+        np.testing.assert_array_equal(batch.seeds, reference.seeds)
+
+
+class TestGracefulDrain:
+    def test_shutdown_waits_for_inflight_batch(self):
+        backend = DistributedBackend(
+            coordinator="127.0.0.1:0", poll_interval=0.01, unit_size=4
+        )
+        address = backend.start()
+        workers = _spawn_workers(1, coordinator=address, heartbeat_seconds=0.05)
+        holder = []
+        collector = threading.Thread(
+            target=lambda: holder.append(
+                collect_batch(SlowAlgorithm(), 8, base_seed=2, backend=backend)
+            ),
+            daemon=True,
+        )
+        collector.start()
+        time.sleep(0.15)  # let the batch get in flight
+        backend.shutdown(drain_seconds=30.0)  # returns once the ledger drains
+        collector.join(timeout=10.0)
+        assert not collector.is_alive()
+        _join_workers(workers)
+        assert holder and holder[0].n_runs == 8
+        reference = collect_batch(SlowAlgorithm(), 8, base_seed=2)
+        np.testing.assert_array_equal(holder[0].iterations, reference.iterations)
+
+    def test_shutdown_without_drain_is_immediate(self, socket_backend):
+        start = time.monotonic()
+        socket_backend.shutdown()
+        assert time.monotonic() - start < 1.0

@@ -1,0 +1,100 @@
+"""Wire-format contracts of the campaign service.
+
+The submission envelope must be strict (bad input is a 400 at the door,
+never a half-configured job) and lossless (a full serialised config
+round-trips bit for bit, so HTTP campaigns reproduce CLI campaigns).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.service.schema import (
+    CampaignSubmission,
+    config_from_dict,
+    config_to_dict,
+)
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("profile", ["tiny", "quick", "medium", "full"])
+    def test_every_profile_round_trips(self, profile):
+        config = getattr(ExperimentConfig, profile)()
+        # A full dump overrides every field, so the starting profile of the
+        # decode side must not matter.
+        assert config_from_dict(config_to_dict(config), profile="quick") == config
+
+    def test_tuples_survive_json_typing(self):
+        config = ExperimentConfig.tiny()
+        payload = config_to_dict(config)
+        assert payload["cores"] == [4, 16, 64]  # JSON array, not tuple
+        restored = config_from_dict(payload)
+        assert restored.cores == (4, 16, 64)
+
+    def test_paper_constants_never_cross_the_wire(self):
+        payload = config_to_dict(ExperimentConfig.tiny())
+        assert "PAPER_FAMILIES" not in payload
+        assert "PAPER_SHIFT_RULES" not in payload
+
+    def test_sparse_overrides_apply_over_profile(self):
+        config = config_from_dict({"base_seed": 7}, profile="tiny")
+        assert config.base_seed == 7
+        assert config.magic_square_n == ExperimentConfig.tiny().magic_square_n
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown config fields"):
+            config_from_dict({"bogus_knob": 1})
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            config_from_dict(None, profile="huge")
+
+    def test_config_validation_still_applies(self):
+        with pytest.raises(ValueError, match="sequential"):
+            config_from_dict({"n_sequential_runs": 1})
+
+
+class TestSubmission:
+    def test_round_trip(self):
+        submission = CampaignSubmission.from_dict(
+            {
+                "profile": "tiny",
+                "controller": "adaptive",
+                "stages": "SAT",
+                "tenant": "team-a",
+            }
+        )
+        restored = CampaignSubmission.from_dict(submission.as_dict())
+        assert restored == dataclasses.replace(submission)
+
+    def test_build_stages_resolves_selection(self):
+        submission = CampaignSubmission.from_dict({"profile": "tiny", "stages": "SAT"})
+        assert [stage.key for stage in submission.build_stages()] == ["SAT"]
+
+    def test_default_is_full_quick_campaign(self):
+        submission = CampaignSubmission.from_dict({})
+        assert submission.controller == "off"
+        assert submission.tenant == "default"
+        assert len(submission.build_stages()) >= 4  # MS, AI, Costas, SAT, ...
+
+    def test_bad_stage_pattern_fails_at_submission_time(self):
+        with pytest.raises(ValueError, match="matches no stage"):
+            CampaignSubmission.from_dict({"profile": "tiny", "stages": "NOPE"})
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ValueError, match="unknown controller"):
+            CampaignSubmission.from_dict({"controller": "yolo"})
+
+    @pytest.mark.parametrize("tenant", ["", "a/b", "x" * 65, "sp ace"])
+    def test_bad_tenant_rejected(self, tenant):
+        with pytest.raises(ValueError, match="invalid tenant"):
+            CampaignSubmission.from_dict({"tenant": tenant})
+
+    def test_unknown_submission_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown submission fields"):
+            CampaignSubmission.from_dict({"controler": "off"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            CampaignSubmission.from_dict([1, 2, 3])

@@ -1,0 +1,64 @@
+"""Source-tree hygiene gates.
+
+ISSUE-9 satellite: ``src/repro/kernels/`` sat in the tree for several PRs
+containing nothing but a ``__pycache__`` — an importable name with no
+code.  This module keeps that class of rot from coming back:
+
+* no directory under ``src/`` may be empty once caches are ignored;
+* every directory holding Python modules must be a package
+  (``__init__.py``) — data-only directories (e.g. the bundled DIMACS
+  instances) are exempt;
+* no package may consist of a single zero-byte ``__init__.py``.
+"""
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Cache droppings: never real content, never inspected.
+_IGNORED = {"__pycache__", ".ipynb_checkpoints"}
+
+
+def _source_dirs() -> list[Path]:
+    out = []
+    for path in sorted(SRC.rglob("*")):
+        if path.is_dir() and path.name not in _IGNORED:
+            if not any(part in _IGNORED for part in path.relative_to(SRC).parts):
+                out.append(path)
+    return out
+
+
+def _real_contents(directory: Path) -> list[Path]:
+    """Files and non-cache subdirectories directly inside ``directory``."""
+    return [p for p in directory.iterdir() if p.name not in _IGNORED]
+
+
+def test_no_empty_directories():
+    """Every source directory holds real content, not just cache droppings."""
+    empty = [
+        str(d.relative_to(SRC)) for d in _source_dirs() if not _real_contents(d)
+    ]
+    assert empty == [], f"empty source directories (delete them): {empty}"
+
+
+def test_python_directories_are_packages():
+    """A directory shipping Python modules must be importable."""
+    missing = [
+        str(d.relative_to(SRC))
+        for d in _source_dirs()
+        if any(p.suffix == ".py" for p in d.iterdir() if p.is_file())
+        and not (d / "__init__.py").exists()
+    ]
+    assert missing == [], f"module directories without __init__.py: {missing}"
+
+
+def test_no_hollow_packages():
+    """A package must carry code: a lone zero-byte ``__init__.py`` (plus
+    caches) is the kernels-package failure mode in miniature."""
+    hollow = []
+    for directory in _source_dirs():
+        contents = _real_contents(directory)
+        if [p.name for p in contents] == ["__init__.py"]:
+            if (directory / "__init__.py").stat().st_size == 0:
+                hollow.append(str(directory.relative_to(SRC)))
+    assert hollow == [], f"hollow packages (only an empty __init__.py): {hollow}"
