@@ -1,0 +1,88 @@
+"""Benches for the workload-recipe subsystem.
+
+The recipe pipeline exists to stress the stack with synthetic campaigns,
+so the bench measures the pipeline itself end to end: profile a real
+quick-profile SAT campaign into a recipe, expand it at ``--scale 4`` and
+run the generated campaign, recording generation cost, campaign
+wall-clock and observation throughput into ``BENCH_results.json``.  The
+scale-4 run is the same shape as the docs-check smoke and the
+``tests/recipes`` slow lane, so the recorded numbers track exactly what
+CI exercises.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.experiments.config import ExperimentConfig
+from repro.recipes import generate_stages, profile_report
+
+#: Replicas per recipe stage for the stress campaign (the ISSUE's
+#: acceptance scale; also the slow-lane process-backend test's scale).
+SCALE = 4
+
+
+@pytest.fixture(scope="module")
+def sat_recipe():
+    """A recipe profiled from a real quick-profile uniform-SAT campaign.
+
+    A tight flip budget keeps the profiling campaign cheap *and* gives the
+    recipe a censoring-heavy stage, the regime synthetic stress workloads
+    are meant to reproduce.
+    """
+    import dataclasses
+
+    from repro.campaign.stages import select_stages
+    from repro.experiments.stages import campaign_stages
+
+    config = dataclasses.replace(
+        ExperimentConfig.quick(), sat_family="uniform", max_iterations=2_000
+    )
+    stages = select_stages(campaign_stages(config, ("sat",)), "SAT")
+    report = run_campaign(stages)
+    return profile_report(report, name="bench-sat-quick")
+
+
+@pytest.mark.benchmark(group="recipes")
+def test_generate_scale4_campaign_throughput(benchmark, bench_results, sat_recipe):
+    """Wall-clock and observations/s of a ``--scale 4`` generated campaign."""
+    gen_start = time.perf_counter()
+    stages = generate_stages(sat_recipe, scale=SCALE, base_seed=7)
+    generate_seconds = time.perf_counter() - gen_start
+    total_quota = sum(s.quota for s in stages)
+
+    # Fresh uniform draws at 4.2 are not guaranteed satisfiable within the
+    # tight budget; a fully-censored replica is still 80 issued
+    # observations, which is what the throughput number prices.
+    def run_generated():
+        return run_campaign(stages, enforce_required=False)
+
+    report = benchmark.pedantic(run_generated, rounds=1, iterations=1, warmup_rounds=0)
+    campaign_seconds = benchmark.stats.stats.mean
+    n_obs = sum(len(stage.stream) for stage in report.stages)
+    assert n_obs >= total_quota  # every replica must deliver its quota
+
+    throughput = n_obs / campaign_seconds if campaign_seconds > 0 else float("inf")
+    bench_results.record(
+        "recipes[generate-scale4]",
+        "campaign_wall_clock_seconds",
+        campaign_seconds,
+        scale=SCALE,
+        n_stages=len(stages),
+        total_quota=total_quota,
+        n_observations=n_obs,
+        generate_seconds=generate_seconds,
+    )
+    bench_results.record(
+        "recipes[generate-scale4]",
+        "observations_per_second",
+        throughput,
+        scale=SCALE,
+        n_observations=n_obs,
+    )
+    print(
+        f"\nrecipes: scale-{SCALE} generation {generate_seconds * 1e3:.1f}ms, "
+        f"campaign {campaign_seconds:.2f}s for {n_obs} observations "
+        f"({throughput:.0f} obs/s)"
+    )

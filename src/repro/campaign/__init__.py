@@ -14,6 +14,13 @@ orchestrated DAG of stages with a live controller:
   and the :func:`verify_report` determinism gate.
 * :mod:`repro.campaign.report` — the JSON-serialisable campaign report:
   per-stage run streams plus the replayable decision log.
+
+The package's bit-identity invariant: controller decisions are a pure
+function of the observation stream — controllers see only
+``(index, seed, iterations, solved, budget)`` in stable index order, never
+wall clock — so a given ``base_seed`` produces an identical decision log
+on every engine backend at any worker count, and every saved report
+replays bit for bit through :func:`verify_report`.
 """
 
 from repro.campaign.controller import (

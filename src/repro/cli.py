@@ -36,6 +36,14 @@ Subcommands
     queue, a multi-tenant observation cache and any engine backend —
     including ``--backend distributed``, where the service doubles as the
     coordinator for an authenticated worker fleet (``--worker-token``).
+``recipe``
+    Workload recipes (see ``docs/recipes.md``): ``recipe profile`` refits a
+    saved campaign report into a recipe, ``recipe validate`` /
+    ``recipe describe`` check and summarise recipe files, and
+    ``recipe generate`` deterministically expands a recipe into a synthetic
+    campaign at any ``--scale`` — printing the JSON plan by default,
+    writing a service submission with ``--submission``, or executing the
+    campaign with ``--run`` on any backend/controller.
 """
 
 from __future__ import annotations
@@ -428,6 +436,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(serve_parser)
 
+    recipe_parser = subparsers.add_parser(
+        "recipe",
+        help="profile campaign reports into workload recipes and generate "
+        "synthetic campaigns from them (see docs/recipes.md)",
+    )
+    recipe_sub = recipe_parser.add_subparsers(dest="recipe_command", required=True)
+
+    recipe_profile = recipe_sub.add_parser(
+        "profile", help="refit a saved campaign report (--report FILE) into a recipe"
+    )
+    recipe_profile.add_argument("report", metavar="REPORT", help="campaign report JSON file")
+    recipe_profile.add_argument(
+        "--out", type=str, default=None, metavar="FILE", help="write the recipe here (default: stdout)"
+    )
+    recipe_profile.add_argument(
+        "--name", type=str, required=True, help="recipe name (filename-safe slug)"
+    )
+    recipe_profile.add_argument(
+        "--description", type=str, default="", help="one-line description stored in the recipe"
+    )
+
+    recipe_validate = recipe_sub.add_parser(
+        "validate", help="strictly validate recipe files (or bundled recipe names)"
+    )
+    recipe_validate.add_argument(
+        "recipes", nargs="+", metavar="RECIPE", help="recipe file paths or bundled recipe names"
+    )
+
+    recipe_describe = recipe_sub.add_parser(
+        "describe", help="summarise a recipe's stages, fitted families and instance mix"
+    )
+    recipe_describe.add_argument(
+        "recipe", metavar="RECIPE", help="recipe file path or bundled recipe name"
+    )
+
+    recipe_generate = recipe_sub.add_parser(
+        "generate",
+        help="deterministically expand a recipe into a synthetic campaign "
+        "(prints the JSON plan; --run executes it)",
+    )
+    recipe_generate.add_argument(
+        "recipe", metavar="RECIPE", help="recipe file path or bundled recipe name"
+    )
+    recipe_generate.add_argument(
+        "--scale", type=int, default=1, metavar="N", help="replicas per recipe stage (default: 1)"
+    )
+    recipe_generate.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="re-root every seed stream and instance draw (default: the "
+        "recipe's recorded seeds — at --scale 1 an exact replay)",
+    )
+    recipe_generate.add_argument(
+        "--out", type=str, default=None, metavar="FILE", help="write the JSON plan here instead of stdout"
+    )
+    recipe_generate.add_argument(
+        "--submission",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write a campaign-service submission body (POST it to /jobs)",
+    )
+    recipe_generate.add_argument(
+        "--run", action="store_true", help="execute the generated campaign now"
+    )
+    recipe_generate.add_argument(
+        "--controller",
+        choices=CONTROLLER_NAMES,
+        default="off",
+        help="campaign controller used with --run / --submission (default: off)",
+    )
+    recipe_generate.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="with --run: write the campaign report (profile it again to close the loop)",
+    )
+    _add_engine_arguments(recipe_generate)
+
     return parser
 
 
@@ -723,6 +812,157 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_recipe_arg(value: str):
+    """Resolve a recipe CLI argument: a file path or a bundled recipe name."""
+    from repro.recipes import CampaignRecipe, RecipeError, bundled_recipe_names, load_bundled_recipe
+
+    path = Path(value)
+    if path.exists():
+        return CampaignRecipe.load(path)
+    if value in bundled_recipe_names():
+        return load_bundled_recipe(value)
+    raise RecipeError(
+        f"no recipe file {value!r} (bundled recipes: {', '.join(bundled_recipe_names())})"
+    )
+
+
+def _command_recipe(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.recipes import (
+        ProfileError,
+        RecipeError,
+        describe_campaign,
+        generate_stages,
+        generate_submission,
+        profile_report,
+    )
+
+    if args.recipe_command == "profile":
+        try:
+            report = CampaignReport.load(args.report)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load report: {exc}", file=sys.stderr)
+            return 2
+        try:
+            recipe = profile_report(report, name=args.name, description=args.description)
+        except ProfileError as exc:
+            print(f"error: cannot profile report: {exc}", file=sys.stderr)
+            return 1
+        if args.out is not None:
+            recipe.save(args.out)
+            print(
+                f"recipe {recipe.name!r} written to {args.out} "
+                f"({len(recipe.stages)} stages, "
+                f"{recipe.source['n_observations']} observations profiled)",
+                file=sys.stderr,
+            )
+        else:
+            print(json.dumps(recipe.as_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.recipe_command == "validate":
+        failures = 0
+        for value in args.recipes:
+            try:
+                recipe = _load_recipe_arg(value)
+            except RecipeError as exc:
+                print(f"{value}: INVALID: {exc}")
+                failures += 1
+                continue
+            print(f"{value}: ok ({recipe.name!r}, {len(recipe.stages)} stages)")
+        return 1 if failures else 0
+
+    try:
+        recipe = _load_recipe_arg(args.recipe)
+    except RecipeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.recipe_command == "describe":
+        print(f"recipe {recipe.name}: {recipe.description or '(no description)'}")
+        for field, value in sorted(recipe.source.items()):
+            print(f"  source.{field} = {value}")
+        for stage in recipe.stages:
+            instance = stage.instance
+            if instance.workload == "csp":
+                what = f"{instance.problem} size={instance.size}"
+            elif instance.sat_family == "dimacs":
+                what = f"dimacs {instance.dimacs} [{instance.policy}]"
+            else:
+                what = (
+                    f"{instance.sat_family} {instance.k}-SAT "
+                    f"{instance.n_variables}@{instance.clause_ratio:g} [{instance.policy}]"
+                )
+            params = ", ".join(
+                f"{name}={value:.4g}" for name, value in sorted(stage.runtime.params.items())
+            )
+            after = ",".join(stage.after) if stage.after else "-"
+            print(
+                f"{stage.key:<14s} {what:<36s} {stage.runtime.family}({params}) "
+                f"censoring={stage.censoring_rate:.0%} quota={stage.quota} "
+                f"budget={stage.budget} after={after}"
+            )
+        return 0
+
+    # recipe generate
+    error = _validate_engine_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        plan = describe_campaign(recipe, scale=args.scale, base_seed=args.seed)
+    except RecipeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plan_text = json.dumps(plan, indent=2, sort_keys=True) + "\n"
+    if args.out is not None:
+        Path(args.out).write_text(plan_text)
+        print(f"campaign plan written to {args.out}", file=sys.stderr)
+    elif not args.run:
+        sys.stdout.write(plan_text)
+    if args.submission is not None:
+        try:
+            submission = generate_submission(
+                recipe, scale=args.scale, base_seed=args.seed, controller=args.controller
+            )
+        except RecipeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        Path(args.submission).write_text(json.dumps(submission, indent=2, sort_keys=True) + "\n")
+        print(f"service submission written to {args.submission}", file=sys.stderr)
+    if not args.run:
+        return 0
+
+    stages = generate_stages(recipe, scale=args.scale, base_seed=args.seed)
+    backend = _engine_backend(args)
+    try:
+        report = run_campaign(
+            stages,
+            controller=args.controller,
+            backend=backend,
+            workers=args.workers if isinstance(backend, str) else None,
+            cache=args.cache_dir,
+        )
+    except CampaignError as exc:
+        print(f"error: generated campaign failed: {exc}", file=sys.stderr)
+        if args.report is not None:
+            exc.report.save(args.report)
+            print(f"partial report written to {args.report}", file=sys.stderr)
+        return 1
+    finally:
+        if isinstance(backend, DistributedBackend):
+            backend.shutdown()  # lets connected workers exit cleanly
+    for stage in report.stages:
+        print(
+            f"{stage.label:<20s} issued={stage.n_issued:<5d} solved={stage.n_solved:<5d} "
+            f"killed={stage.n_killed}"
+        )
+    if args.report is not None:
+        report.save(args.report)
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     error = _validate_engine_args(args)
     if error is not None:
@@ -795,6 +1035,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_worker(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "recipe":
+        return _command_recipe(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,0 +1,62 @@
+"""Workload recipes: profiled campaign descriptions and synthetic campaigns.
+
+**Contract.**  A *recipe* (:class:`~repro.recipes.schema.CampaignRecipe`) is
+a small, versioned JSON document describing a campaign the way WfCommons
+describes scientific workflows: per stage a fitted runtime-distribution
+family with its parameters, the observed censoring rate, an instance-mix
+descriptor (which problem/instance family at which size), the stage-DAG
+shape and the observed quota/budget ratios.  :mod:`~repro.recipes.profile`
+turns any :class:`~repro.campaign.report.CampaignReport` into a recipe by
+refitting the recorded observation streams through the same streaming
+estimators the live controller uses (:mod:`repro.stats.online`);
+:mod:`~repro.recipes.generate` synthesises a runnable campaign back out of
+a recipe at any ``--scale`` — emitting ordinary
+:class:`~repro.campaign.stages.StageSpec` DAGs over regenerated instances,
+so generated campaigns run through every engine backend, every controller
+and the HTTP service unchanged.
+
+**Bit-identity invariants.**  Recipes are lossless: ``save``/``load``
+round-trips reproduce the document byte for byte, and
+``from_dict(as_dict(r))`` equals ``r``.  Generation is deterministic: the
+same recipe, scale and seed produce byte-identical campaign plans on every
+invocation and host — replica seed streams and replica instance draws are
+pure functions of ``(seed, stage key, replica)``.  At ``scale=1`` with no
+seed override, a generated campaign replays the profiled campaign's exact
+seed streams and instances, so running it reproduces the original
+observations bit for bit (and therefore refits to the original recipe).
+"""
+
+from repro.recipes.generate import (
+    describe_campaign,
+    generate_stages,
+    generate_submission,
+)
+from repro.recipes.profile import ProfileError, profile_report
+from repro.recipes.schema import (
+    RECIPE_FORMAT,
+    CampaignRecipe,
+    FittedDistribution,
+    InstanceMix,
+    RecipeError,
+    StageRecipe,
+    bundled_recipe_names,
+    bundled_recipe_path,
+    load_bundled_recipe,
+)
+
+__all__ = [
+    "CampaignRecipe",
+    "FittedDistribution",
+    "InstanceMix",
+    "ProfileError",
+    "RECIPE_FORMAT",
+    "RecipeError",
+    "StageRecipe",
+    "bundled_recipe_names",
+    "bundled_recipe_path",
+    "describe_campaign",
+    "generate_stages",
+    "generate_submission",
+    "load_bundled_recipe",
+    "profile_report",
+]

@@ -22,6 +22,12 @@ multi-tenant observation cache:
   (used by the CI service-smoke lane and the benchmarks).
 
 Everything is standard library + the repo itself: no new dependencies.
+
+The package's contract: HTTP is transport, not semantics.  A report
+fetched from the service equals a serial CLI run of the same profile and
+seed on every deterministic field (``runtime_seconds`` is the one
+wall-clock field), which is also what makes cached batches safely
+shareable across tenants.
 """
 
 from repro.service.client import CampaignClient, ServiceError

@@ -1,0 +1,29 @@
+"""Shared fixtures for the recipe tests.
+
+One tiny SAT campaign is run once per session; every schema/profile/
+generate test works from its report (or from the recipe profiled out of
+it) instead of re-running solvers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.stages import campaign_stages
+from repro.recipes import profile_report
+
+
+@pytest.fixture(scope="session")
+def tiny_sat_report():
+    """Report of a tiny single-stage SAT campaign (the fast profiling input)."""
+    config = ExperimentConfig.tiny()
+    return run_campaign(campaign_stages(config, ("sat",)))
+
+
+@pytest.fixture(scope="session")
+def tiny_sat_recipe(tiny_sat_report):
+    return profile_report(
+        tiny_sat_report, name="tiny-sat", description="tiny planted 3-SAT stage"
+    )

@@ -1,0 +1,188 @@
+"""The recipe document format: lossless round-trips and strict rejection."""
+
+import json
+
+import pytest
+
+from repro.recipes import (
+    RECIPE_FORMAT,
+    CampaignRecipe,
+    FittedDistribution,
+    InstanceMix,
+    RecipeError,
+    StageRecipe,
+    bundled_recipe_names,
+    load_bundled_recipe,
+)
+
+
+def make_stage(key="SAT", **overrides) -> StageRecipe:
+    fields = dict(
+        key=key,
+        label="3-SAT 25@4.2",
+        kind="sat",
+        instance=InstanceMix(
+            workload="sat",
+            sat_family="planted",
+            n_variables=25,
+            clause_ratio=4.2,
+            k=3,
+            policy="walksat",
+            instance_seed=20130813,
+        ),
+        runtime=FittedDistribution(
+            family="censored_exponential",
+            params={"x0": 5.0, "lam": 0.05},
+            n_events=30,
+            n_censored=0,
+        ),
+        censoring_rate=0.0,
+        quota=30,
+        budget=50_000,
+        base_seed=20130816,
+        budget_ratio=2000.0,
+        supports_cutoff=True,
+    )
+    fields.update(overrides)
+    return StageRecipe(**fields)
+
+
+def make_recipe(*stages) -> CampaignRecipe:
+    return CampaignRecipe(
+        name="unit-test",
+        description="hand-built recipe",
+        source={"controller": "off"},
+        stages=stages or (make_stage(),),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        recipe = make_recipe(
+            make_stage("SAT"),
+            make_stage("SAT/novelty", after=("SAT",)),
+        )
+        payload = json.loads(json.dumps(recipe.as_dict()))
+        assert CampaignRecipe.from_dict(payload) == recipe
+
+    def test_save_load_reproduces_bytes(self, tmp_path):
+        recipe = make_recipe()
+        path = recipe.save(tmp_path / "r.json")
+        loaded = CampaignRecipe.load(path)
+        assert loaded == recipe
+        assert loaded.save(tmp_path / "r2.json").read_bytes() == path.read_bytes()
+
+    def test_profiled_recipe_round_trips(self, tiny_sat_recipe, tmp_path):
+        path = tiny_sat_recipe.save(tmp_path / "tiny.json")
+        assert CampaignRecipe.load(path) == tiny_sat_recipe
+
+
+class TestRejection:
+    def test_unknown_format_version(self):
+        payload = make_recipe().as_dict()
+        payload["format"] = "repro-campaign-recipe-v999"
+        with pytest.raises(RecipeError, match="format"):
+            CampaignRecipe.from_dict(payload)
+        assert RECIPE_FORMAT == "repro-campaign-recipe-v1"
+
+    def test_unknown_top_level_field(self):
+        payload = make_recipe().as_dict()
+        payload["surprise"] = 1
+        with pytest.raises(RecipeError, match="unknown fields"):
+            CampaignRecipe.from_dict(payload)
+
+    def test_unknown_stage_field(self):
+        payload = make_recipe().as_dict()
+        payload["stages"][0]["surprise"] = 1
+        with pytest.raises(RecipeError, match="unknown fields"):
+            CampaignRecipe.from_dict(payload)
+
+    def test_missing_stage_field(self):
+        payload = make_recipe().as_dict()
+        del payload["stages"][0]["quota"]
+        with pytest.raises(RecipeError, match="missing fields"):
+            CampaignRecipe.from_dict(payload)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(RecipeError, match="not valid JSON"):
+            CampaignRecipe.load(path)
+
+    @pytest.mark.parametrize(
+        "family, params",
+        [
+            ("weibull", {"k": 1.0, "lam": 1.0}),
+            ("censored_exponential", {"x0": 5.0}),
+            ("censored_exponential", {"x0": 5.0, "lam": -1.0}),
+            ("lognormal", {"mu": 1.0, "sigma": float("nan")}),
+        ],
+    )
+    def test_malformed_distribution(self, family, params):
+        with pytest.raises(RecipeError):
+            FittedDistribution(family=family, params=params, n_events=10, n_censored=0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"workload": "quantum"},
+            {"workload": "csp", "problem": "TSP", "size": 5},
+            {"workload": "csp", "problem": "MS"},  # no size
+            {"workload": "sat"},  # no family
+            {"workload": "sat", "sat_family": "uniform", "policy": "walksat"},  # no n/k/ratio
+        ],
+    )
+    def test_malformed_instance(self, overrides):
+        with pytest.raises(RecipeError):
+            InstanceMix(**overrides)
+
+    def test_csp_instance_rejects_sat_fields(self):
+        with pytest.raises(RecipeError, match="forbids SAT fields"):
+            InstanceMix(workload="csp", problem="MS", size=4, k=3)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"censoring_rate": 1.5},
+            {"quota": 0},
+            {"budget": -1},
+            {"budget_ratio": 0.0},
+            {"kind": "mystery"},
+        ],
+    )
+    def test_malformed_stage(self, overrides):
+        with pytest.raises(RecipeError):
+            make_stage(**overrides)
+
+    def test_bad_recipe_name(self):
+        with pytest.raises(RecipeError, match="invalid recipe name"):
+            CampaignRecipe(name="no spaces", description="", stages=(make_stage(),))
+
+    def test_duplicate_stage_keys(self):
+        with pytest.raises(RecipeError, match="duplicate stage keys"):
+            make_recipe(make_stage("SAT"), make_stage("SAT"))
+
+    def test_unknown_dependency(self):
+        with pytest.raises(RecipeError, match="unknown stages"):
+            make_recipe(make_stage("SAT", after=("ghost",)))
+
+    def test_dependency_cycle(self):
+        with pytest.raises(RecipeError, match="cycle"):
+            make_recipe(
+                make_stage("A", after=("B",)),
+                make_stage("B", after=("A",)),
+            )
+
+
+class TestBundled:
+    def test_bundled_recipes_exist_and_validate(self):
+        names = bundled_recipe_names()
+        assert len(names) >= 2
+        for name in names:
+            recipe = load_bundled_recipe(name)
+            assert recipe.name == name
+            assert recipe.stages
+
+    def test_unknown_bundled_name(self):
+        with pytest.raises(RecipeError, match="no bundled recipe"):
+            load_bundled_recipe("does-not-exist")
